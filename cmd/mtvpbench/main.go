@@ -1,0 +1,106 @@
+// Command mtvpbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mtvpbench -exp fig1              # one experiment
+//	mtvpbench -exp all -insts 200000 # everything (slow)
+//
+// Experiments: table1, fig1, fig2, sb, fig3, dfcm, fig4, fig5, multival,
+// fig6, prefetch, selector, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"mtvp/internal/experiments"
+	"mtvp/internal/stats"
+	"mtvp/internal/workload"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "fig1", "experiment to regenerate (or 'all')")
+		insts    = flag.Uint64("insts", 200_000, "useful committed instructions per run")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent simulations")
+		benchCSV = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
+	)
+	flag.Parse()
+
+	opt := experiments.DefaultOptions()
+	opt.Insts = *insts
+	opt.Seed = *seed
+	opt.Parallel = *parallel
+	if *benchCSV != "" {
+		for _, name := range strings.Split(*benchCSV, ",") {
+			b, err := workload.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			opt.Benchmarks = append(opt.Benchmarks, b)
+		}
+	}
+
+	type entry struct {
+		name string
+		run  func(experiments.Options) ([]*stats.Table, error)
+	}
+	all := []entry{
+		{"fig1", experiments.Fig1},
+		{"fig2", experiments.Fig2},
+		{"sb", func(o experiments.Options) ([]*stats.Table, error) {
+			t, err := experiments.StoreBufferSweep(o)
+			if err != nil {
+				return nil, err
+			}
+			return []*stats.Table{t}, nil
+		}},
+		{"fig3", experiments.Fig3},
+		{"dfcm", experiments.DFCMCompare},
+		{"fig4", experiments.Fig4},
+		{"fig5", experiments.Fig5},
+		{"multival", experiments.MultiValue},
+		{"fig6", experiments.Fig6},
+		{"prefetch", experiments.PrefetchAblation},
+		{"selector", experiments.SelectorCompare},
+		{"sborg", experiments.StoreBufferOrg},
+	}
+
+	if *exp == "table1" || *exp == "all" {
+		fmt.Println("Table 1: Simulator Architectural Parameters")
+		fmt.Println(experiments.Table1())
+	}
+	for _, e := range all {
+		if *exp != "all" && *exp != e.name {
+			continue
+		}
+		start := time.Now()
+		tables, err := e.run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+		fmt.Printf("[%s finished in %s]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+	if *exp != "table1" && *exp != "all" {
+		found := false
+		for _, e := range all {
+			if e.name == *exp {
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+			os.Exit(1)
+		}
+	}
+}

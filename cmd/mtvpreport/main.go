@@ -1,0 +1,46 @@
+// Command mtvpreport regenerates every experiment and writes the
+// paper-vs-measured report (EXPERIMENTS.md).
+//
+// Usage:
+//
+//	mtvpreport -o EXPERIMENTS.md -insts 150000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"mtvp/internal/experiments"
+)
+
+func main() {
+	var (
+		out      = flag.String("o", "EXPERIMENTS.md", "output file (- for stdout)")
+		insts    = flag.Uint64("insts", 150_000, "useful committed instructions per run")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent simulations")
+	)
+	flag.Parse()
+
+	opt := experiments.DefaultOptions()
+	opt.Insts = *insts
+	opt.Seed = *seed
+	opt.Parallel = *parallel
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := experiments.GenerateReport(opt, w); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,194 @@
+// Command mtvpsim runs one benchmark on one machine configuration and
+// prints its statistics.
+//
+// Usage:
+//
+//	mtvpsim -bench mcf -machine mtvp -contexts 4 -pred wf -sel ilp
+//	mtvpsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mtvp/internal/config"
+	"mtvp/internal/core"
+	"mtvp/internal/trace"
+	"mtvp/internal/workload"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "mcf", "benchmark name (see -list)")
+		machine   = flag.String("machine", "baseline", "baseline | stvp | mtvp | mtvp-nostall | multival | spawn-only | wide-window")
+		contexts  = flag.Int("contexts", 4, "hardware thread contexts (mtvp machines)")
+		pred      = flag.String("pred", "wf", "value predictor: oracle | wf | dfcm | fcm | lastvalue | stride")
+		sel       = flag.String("sel", "ilp", "load selector: ilp | l3 | always")
+		spawnLat  = flag.Int("spawnlat", -1, "spawn latency in cycles (-1 = machine default)")
+		storeBuf  = flag.Int("storebuf", -1, "store buffer entries per context (-1 = default, 0 = unbounded)")
+		insts     = flag.Uint64("insts", 300_000, "useful committed instruction budget")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		noPrefS   = flag.Bool("noprefetch", false, "disable the stride prefetcher")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+		traceN    = flag.Uint64("trace", 0, "print the first N pipeline trace events to stderr")
+		traceKind = flag.String("tracekinds", "", "comma-separated event kinds to trace (spawn,confirm,kill,commit,...)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range workload.All() {
+			fmt.Printf("%-12s %-8s %s\n", b.Name, b.Kind, b.Suite)
+		}
+		return
+	}
+
+	bench, err := workload.ByName(*benchName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	pk, err := parsePred(*pred)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sk, err := parseSel(*sel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var cfg config.Config
+	switch *machine {
+	case "baseline":
+		cfg = core.Baseline()
+	case "stvp":
+		cfg = core.STVP(pk, sk)
+	case "mtvp":
+		cfg = core.MTVP(*contexts, pk, sk)
+	case "mtvp-nostall":
+		cfg = core.MTVPNoStall(*contexts, pk, sk)
+	case "multival":
+		cfg = core.MTVPMultiValue(*contexts, 3, 6)
+	case "spawn-only":
+		cfg = core.SpawnOnly(*contexts)
+	case "wide-window":
+		cfg = core.WideWindow()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown machine %q\n", *machine)
+		os.Exit(1)
+	}
+	if *spawnLat >= 0 {
+		cfg.VP.SpawnLatency = *spawnLat
+	}
+	if *storeBuf >= 0 {
+		cfg.VP.StoreBufEntries = *storeBuf
+	}
+	if *noPrefS {
+		cfg.Prefetch.Enabled = false
+	}
+	cfg.MaxInsts = *insts
+	cfg.Seed = *seed
+
+	prog, image := bench.Build(*seed)
+	var tr trace.Tracer
+	if *traceN > 0 {
+		w := &trace.Writer{W: os.Stderr, Max: *traceN}
+		if *traceKind != "" {
+			kinds, err := parseKinds(*traceKind)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			w.Kinds = kinds
+		}
+		tr = w
+	}
+	res, err := core.RunTraced(cfg, prog, image, tr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	s := &res.Stats
+	fmt.Printf("benchmark  %s (%s, %s)\n", bench.Name, bench.Kind, bench.Suite)
+	fmt.Printf("machine    %s pred=%s sel=%s contexts=%d spawn=%dcyc storebuf=%d\n",
+		*machine, cfg.VP.Predictor, cfg.VP.Selector, cfg.Contexts,
+		cfg.VP.SpawnLatency, cfg.VP.StoreBufEntries)
+	fmt.Printf("cycles     %d\n", s.Cycles)
+	fmt.Printf("committed  %d (useful)\n", s.Committed)
+	fmt.Printf("IPC        %.4f\n", s.UsefulIPC())
+	fmt.Printf("branches   %d (%.2f%% mispredicted)\n", s.Branches,
+		100*float64(s.BranchWrong)/maxf(float64(s.Branches), 1))
+	fmt.Printf("loads      %d  DL1 miss %d  L2 miss %d  L3 miss %d  sbuf fwd %d\n",
+		s.Loads, s.DL1Miss, s.L2Miss, s.L3Miss, s.StoreBufHits)
+	fmt.Printf("prefetch   issued %d  stream hits %d\n", s.PrefIssued, s.PrefHits)
+	if s.VPLookups > 0 {
+		fmt.Printf("vpred      lookups %d  confident %d  followed %d  correct %d  wrong %d (acc %.3f)\n",
+			s.VPLookups, s.VPConfident, s.VPPredicted, s.VPCorrect, s.VPWrong, s.VPAccuracy())
+		fmt.Printf("threads    spawns %d  confirms %d  kills %d  stvp %d  reissues %d  squashed %d\n",
+			s.Spawns, s.Confirms, s.Kills, s.STVPUsed, s.Reissues, s.Squashed)
+		if s.VPWrongButPresent > 0 || s.MultiValueSaves > 0 {
+			fmt.Printf("multival   wrong-but-present %d  saves %d\n",
+				s.VPWrongButPresent, s.MultiValueSaves)
+		}
+	}
+}
+
+func parseKinds(csv string) ([]trace.Kind, error) {
+	names := map[string]trace.Kind{
+		"fetch": trace.KFetch, "disp": trace.KDispatch, "issue": trace.KIssue,
+		"done": trace.KComplete, "commit": trace.KCommit, "squash": trace.KSquash,
+		"reissue": trace.KReissue, "predict": trace.KPredict, "spawn": trace.KSpawn,
+		"confirm": trace.KConfirm, "kill": trace.KKill, "promote": trace.KPromote,
+	}
+	var out []trace.Kind
+	for _, part := range strings.Split(csv, ",") {
+		k, ok := names[strings.TrimSpace(part)]
+		if !ok {
+			return nil, fmt.Errorf("unknown trace kind %q", part)
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+func parsePred(s string) (config.PredictorKind, error) {
+	switch s {
+	case "oracle":
+		return config.PredOracle, nil
+	case "wf":
+		return config.PredWangFranklin, nil
+	case "dfcm":
+		return config.PredDFCM, nil
+	case "fcm":
+		return config.PredFCM, nil
+	case "lastvalue":
+		return config.PredLastValue, nil
+	case "stride":
+		return config.PredStride, nil
+	}
+	return 0, fmt.Errorf("unknown predictor %q", s)
+}
+
+func parseSel(s string) (config.SelectorKind, error) {
+	switch s {
+	case "ilp":
+		return config.SelILPPred, nil
+	case "l3":
+		return config.SelL3Oracle, nil
+	case "always":
+		return config.SelAlways, nil
+	}
+	return 0, fmt.Errorf("unknown selector %q", s)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,42 @@
+// Quickstart: simulate one benchmark on the baseline machine and on
+// multithreaded value prediction, and report the speedup — the smallest
+// complete use of the library's public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mtvp/internal/config"
+	"mtvp/internal/core"
+	"mtvp/internal/stats"
+	"mtvp/internal/workload"
+)
+
+func main() {
+	bench, err := workload.ByName("mcf")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Every run needs a freshly built program + memory image.
+	run := func(cfg config.Config) *core.Result {
+		cfg.MaxInsts = 150_000
+		prog, image := bench.Build(1)
+		res, err := core.Run(cfg, prog, image)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	base := run(core.Baseline())
+	mtvp := run(core.MTVP(4, config.PredWangFranklin, config.SelILPPred))
+
+	fmt.Printf("benchmark      %s (SPEC INT stand-in)\n", bench.Name)
+	fmt.Printf("baseline IPC   %.4f\n", base.IPC())
+	fmt.Printf("mtvp4 IPC      %.4f\n", mtvp.IPC())
+	fmt.Printf("speedup        %+.1f%%\n", stats.SpeedupPct(base.IPC(), mtvp.IPC()))
+	fmt.Printf("spawned %d speculative threads, %d confirmed, %d killed\n",
+		mtvp.Stats.Spawns, mtvp.Stats.Confirms, mtvp.Stats.Kills)
+}

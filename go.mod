@@ -1,0 +1,3 @@
+module mtvp
+
+go 1.22

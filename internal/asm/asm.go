@@ -1,0 +1,312 @@
+// Package asm provides a programmatic assembler for the synthetic ISA in
+// internal/isa. Workload kernels are written as Go code against a Builder:
+// labels name instruction positions, branch and jump targets are given by
+// label, and Build resolves all fixups into absolute instruction indices.
+package asm
+
+import (
+	"fmt"
+
+	"mtvp/internal/isa"
+)
+
+// Builder accumulates instructions and resolves labels into an isa.Program.
+// The zero value is not usable; call New.
+type Builder struct {
+	name   string
+	insts  []isa.Inst
+	labels map[string]int64
+	fixups []fixup
+	errs   []error
+}
+
+type fixup struct {
+	idx   int
+	label string
+}
+
+// New returns an empty Builder for a program with the given name.
+func New(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]int64)}
+}
+
+// Len returns the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.insts) }
+
+// Label defines a label at the current position. Redefining a label is an
+// error reported by Build.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("asm: label %q redefined", name))
+		return
+	}
+	b.labels[name] = int64(len(b.insts))
+}
+
+func (b *Builder) emit(in isa.Inst) {
+	b.insts = append(b.insts, in)
+}
+
+func (b *Builder) emitTo(in isa.Inst, label string) {
+	b.fixups = append(b.fixups, fixup{idx: len(b.insts), label: label})
+	b.emit(in)
+}
+
+// Build resolves labels and returns the assembled program.
+func (b *Builder) Build() (*isa.Program, error) {
+	for _, f := range b.fixups {
+		tgt, ok := b.labels[f.label]
+		if !ok {
+			b.errs = append(b.errs, fmt.Errorf("asm: undefined label %q", f.label))
+			continue
+		}
+		b.insts[f.idx].Imm = tgt
+	}
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	insts := make([]isa.Inst, len(b.insts))
+	copy(insts, b.insts)
+	return &isa.Program{Name: b.name, Insts: insts}, nil
+}
+
+// MustBuild is Build but panics on error; workload kernels are static
+// programs whose assembly errors are programming bugs.
+func (b *Builder) MustBuild() *isa.Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// --- integer ALU -----------------------------------------------------------
+
+// Add emits rd ← rs1 + rs2.
+func (b *Builder) Add(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.ADD, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Sub emits rd ← rs1 − rs2.
+func (b *Builder) Sub(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.SUB, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Mul emits rd ← rs1 × rs2.
+func (b *Builder) Mul(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.MUL, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Div emits rd ← rs1 ÷ rs2 (unsigned; x÷0 = 0).
+func (b *Builder) Div(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.DIV, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Rem emits rd ← rs1 mod rs2 (unsigned; x mod 0 = 0).
+func (b *Builder) Rem(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.REM, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// And emits rd ← rs1 & rs2.
+func (b *Builder) And(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.AND, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Or emits rd ← rs1 | rs2.
+func (b *Builder) Or(rd, rs1, rs2 isa.Reg) { b.emit(isa.Inst{Op: isa.OR, Rd: rd, Rs1: rs1, Rs2: rs2}) }
+
+// Xor emits rd ← rs1 ^ rs2.
+func (b *Builder) Xor(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.XOR, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Sll emits rd ← rs1 << rs2.
+func (b *Builder) Sll(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.SLL, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Srl emits rd ← rs1 >> rs2 (logical).
+func (b *Builder) Srl(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.SRL, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Slt emits rd ← (rs1 < rs2), signed.
+func (b *Builder) Slt(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.SLT, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Sltu emits rd ← (rs1 < rs2), unsigned.
+func (b *Builder) Sltu(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.SLTU, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Addi emits rd ← rs1 + imm.
+func (b *Builder) Addi(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Andi emits rd ← rs1 & imm.
+func (b *Builder) Andi(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.ANDI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Ori emits rd ← rs1 | imm.
+func (b *Builder) Ori(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.ORI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Xori emits rd ← rs1 ^ imm.
+func (b *Builder) Xori(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.XORI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Slli emits rd ← rs1 << imm.
+func (b *Builder) Slli(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.SLLI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Srli emits rd ← rs1 >> imm (logical).
+func (b *Builder) Srli(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.SRLI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Muli emits rd ← rs1 × imm.
+func (b *Builder) Muli(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.MULI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Li emits rd ← imm (full 64-bit immediate).
+func (b *Builder) Li(rd isa.Reg, imm int64) { b.emit(isa.Inst{Op: isa.LI, Rd: rd, Imm: imm}) }
+
+// Liu emits rd ← imm for an unsigned immediate.
+func (b *Builder) Liu(rd isa.Reg, imm uint64) { b.Li(rd, int64(imm)) }
+
+// Mov emits rd ← rs (as addi rd, rs, 0).
+func (b *Builder) Mov(rd, rs isa.Reg) { b.Addi(rd, rs, 0) }
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.emit(isa.Inst{Op: isa.NOP}) }
+
+// --- floating point ---------------------------------------------------------
+
+// Fadd emits fd ← fs1 + fs2.
+func (b *Builder) Fadd(fd, fs1, fs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.FADD, Rd: fd, Rs1: fs1, Rs2: fs2})
+}
+
+// Fsub emits fd ← fs1 − fs2.
+func (b *Builder) Fsub(fd, fs1, fs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.FSUB, Rd: fd, Rs1: fs1, Rs2: fs2})
+}
+
+// Fmul emits fd ← fs1 × fs2.
+func (b *Builder) Fmul(fd, fs1, fs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.FMUL, Rd: fd, Rs1: fs1, Rs2: fs2})
+}
+
+// Fdiv emits fd ← fs1 ÷ fs2 (x÷0 = 0).
+func (b *Builder) Fdiv(fd, fs1, fs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.FDIV, Rd: fd, Rs1: fs1, Rs2: fs2})
+}
+
+// Fsqrt emits fd ← √fs1.
+func (b *Builder) Fsqrt(fd, fs1 isa.Reg) { b.emit(isa.Inst{Op: isa.FSQRT, Rd: fd, Rs1: fs1}) }
+
+// Itof emits fd ← float64(rs1).
+func (b *Builder) Itof(fd, rs1 isa.Reg) { b.emit(isa.Inst{Op: isa.ITOF, Rd: fd, Rs1: rs1}) }
+
+// Ftoi emits rd ← int64(fs1).
+func (b *Builder) Ftoi(rd, fs1 isa.Reg) { b.emit(isa.Inst{Op: isa.FTOI, Rd: rd, Rs1: fs1}) }
+
+// Flt emits rd ← (fs1 < fs2).
+func (b *Builder) Flt(rd, fs1, fs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.FLT, Rd: rd, Rs1: fs1, Rs2: fs2})
+}
+
+// --- memory -----------------------------------------------------------------
+
+// Ld emits rd ← mem64[rs1+off].
+func (b *Builder) Ld(rd, rs1 isa.Reg, off int64) {
+	b.emit(isa.Inst{Op: isa.LD, Rd: rd, Rs1: rs1, Imm: off})
+}
+
+// Lw emits rd ← mem32[rs1+off] (zero-extended).
+func (b *Builder) Lw(rd, rs1 isa.Reg, off int64) {
+	b.emit(isa.Inst{Op: isa.LW, Rd: rd, Rs1: rs1, Imm: off})
+}
+
+// Lb emits rd ← mem8[rs1+off] (zero-extended).
+func (b *Builder) Lb(rd, rs1 isa.Reg, off int64) {
+	b.emit(isa.Inst{Op: isa.LB, Rd: rd, Rs1: rs1, Imm: off})
+}
+
+// Fld emits fd ← mem64[rs1+off] (FP load).
+func (b *Builder) Fld(fd, rs1 isa.Reg, off int64) {
+	b.emit(isa.Inst{Op: isa.FLD, Rd: fd, Rs1: rs1, Imm: off})
+}
+
+// Sd emits mem64[rs1+off] ← rs2.
+func (b *Builder) Sd(rs2, rs1 isa.Reg, off int64) {
+	b.emit(isa.Inst{Op: isa.SD, Rs1: rs1, Rs2: rs2, Imm: off})
+}
+
+// Sw emits mem32[rs1+off] ← rs2.
+func (b *Builder) Sw(rs2, rs1 isa.Reg, off int64) {
+	b.emit(isa.Inst{Op: isa.SW, Rs1: rs1, Rs2: rs2, Imm: off})
+}
+
+// Sb emits mem8[rs1+off] ← rs2.
+func (b *Builder) Sb(rs2, rs1 isa.Reg, off int64) {
+	b.emit(isa.Inst{Op: isa.SB, Rs1: rs1, Rs2: rs2, Imm: off})
+}
+
+// Fsd emits mem64[rs1+off] ← fs2 (FP store).
+func (b *Builder) Fsd(fs2, rs1 isa.Reg, off int64) {
+	b.emit(isa.Inst{Op: isa.FSD, Rs1: rs1, Rs2: fs2, Imm: off})
+}
+
+// --- control flow -----------------------------------------------------------
+
+// Beq emits a branch to label when rs1 == rs2.
+func (b *Builder) Beq(rs1, rs2 isa.Reg, label string) {
+	b.emitTo(isa.Inst{Op: isa.BEQ, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// Bne emits a branch to label when rs1 != rs2.
+func (b *Builder) Bne(rs1, rs2 isa.Reg, label string) {
+	b.emitTo(isa.Inst{Op: isa.BNE, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// Blt emits a branch to label when rs1 < rs2 (signed).
+func (b *Builder) Blt(rs1, rs2 isa.Reg, label string) {
+	b.emitTo(isa.Inst{Op: isa.BLT, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// Bge emits a branch to label when rs1 >= rs2 (signed).
+func (b *Builder) Bge(rs1, rs2 isa.Reg, label string) {
+	b.emitTo(isa.Inst{Op: isa.BGE, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// Bltu emits a branch to label when rs1 < rs2 (unsigned).
+func (b *Builder) Bltu(rs1, rs2 isa.Reg, label string) {
+	b.emitTo(isa.Inst{Op: isa.BLTU, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// Bgeu emits a branch to label when rs1 >= rs2 (unsigned).
+func (b *Builder) Bgeu(rs1, rs2 isa.Reg, label string) {
+	b.emitTo(isa.Inst{Op: isa.BGEU, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// J emits an unconditional jump to label.
+func (b *Builder) J(label string) { b.emitTo(isa.Inst{Op: isa.J}, label) }
+
+// Jal emits a call: rd ← return index, jump to label.
+func (b *Builder) Jal(rd isa.Reg, label string) {
+	b.emitTo(isa.Inst{Op: isa.JAL, Rd: rd}, label)
+}
+
+// Jr emits an indirect jump to the instruction index in rs1.
+func (b *Builder) Jr(rs1 isa.Reg) { b.emit(isa.Inst{Op: isa.JR, Rs1: rs1}) }
+
+// Halt emits a halt.
+func (b *Builder) Halt() { b.emit(isa.Inst{Op: isa.HALT}) }

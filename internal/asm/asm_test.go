@@ -1,0 +1,137 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"mtvp/internal/isa"
+)
+
+func TestLabelsResolve(t *testing.T) {
+	b := New("t")
+	b.Li(isa.R1, 3) // 0
+	b.Label("loop")
+	b.Addi(isa.R1, isa.R1, -1)    // 1
+	b.Bne(isa.R1, isa.R0, "loop") // 2 -> 1
+	b.J("end")                    // 3 -> 5
+	b.Nop()                       // 4
+	b.Label("end")
+	b.Halt() // 5
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[2].Imm != 1 {
+		t.Errorf("backward branch target = %d, want 1", p.Insts[2].Imm)
+	}
+	if p.Insts[3].Imm != 5 {
+		t.Errorf("forward jump target = %d, want 5", p.Insts[3].Imm)
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	b := New("t")
+	b.J("nowhere")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Errorf("expected undefined-label error, got %v", err)
+	}
+}
+
+func TestRedefinedLabel(t *testing.T) {
+	b := New("t")
+	b.Label("x")
+	b.Nop()
+	b.Label("x")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "redefined") {
+		t.Errorf("expected redefined-label error, got %v", err)
+	}
+}
+
+func TestBuildIsolation(t *testing.T) {
+	// Build must return a copy: later emissions must not alias.
+	b := New("t")
+	b.Nop()
+	b.Halt()
+	p1, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p1.Insts[0].Op
+	b.insts[0].Op = isa.ADD
+	if p1.Insts[0].Op != got {
+		t.Error("Build result aliases builder state")
+	}
+}
+
+func TestAssembledProgramRuns(t *testing.T) {
+	b := New("fib")
+	b.Li(isa.R1, 0)  // fib(0)
+	b.Li(isa.R2, 1)  // fib(1)
+	b.Li(isa.R3, 10) // count
+	b.Label("loop")
+	b.Add(isa.R4, isa.R1, isa.R2)
+	b.Mov(isa.R1, isa.R2)
+	b.Mov(isa.R2, isa.R4)
+	b.Addi(isa.R3, isa.R3, -1)
+	b.Bne(isa.R3, isa.R0, "loop")
+	b.Halt()
+	p := b.MustBuild()
+
+	c := isa.NewContext(p, nopMem{})
+	c.Run(10_000)
+	if !c.Halted {
+		t.Fatal("did not halt")
+	}
+	if c.R[isa.R2] != 89 { // fib(11)
+		t.Errorf("fib = %d, want 89", c.R[isa.R2])
+	}
+}
+
+func TestEmitters(t *testing.T) {
+	// Every emitter produces the opcode and operands it promises.
+	b := New("ops")
+	b.Add(isa.R1, isa.R2, isa.R3)
+	b.Fadd(isa.F1, isa.F2, isa.F3)
+	b.Ld(isa.R1, isa.R2, 8)
+	b.Sd(isa.R3, isa.R2, 16)
+	b.Fsd(isa.F3, isa.R2, 24)
+	b.Liu(isa.R4, 1<<63)
+	b.Slli(isa.R5, isa.R5, 3)
+	b.Halt()
+	p := b.MustBuild()
+
+	want := []isa.Inst{
+		{Op: isa.ADD, Rd: isa.R1, Rs1: isa.R2, Rs2: isa.R3},
+		{Op: isa.FADD, Rd: isa.F1, Rs1: isa.F2, Rs2: isa.F3},
+		{Op: isa.LD, Rd: isa.R1, Rs1: isa.R2, Imm: 8},
+		{Op: isa.SD, Rs1: isa.R2, Rs2: isa.R3, Imm: 16},
+		{Op: isa.FSD, Rs1: isa.R2, Rs2: isa.F3, Imm: 24},
+		{Op: isa.LI, Rd: isa.R4, Imm: int64(-1 << 63)},
+		{Op: isa.SLLI, Rd: isa.R5, Rs1: isa.R5, Imm: 3},
+		{Op: isa.HALT},
+	}
+	if len(p.Insts) != len(want) {
+		t.Fatalf("emitted %d insts, want %d", len(p.Insts), len(want))
+	}
+	for i, w := range want {
+		if p.Insts[i] != w {
+			t.Errorf("inst %d = %+v, want %+v", i, p.Insts[i], w)
+		}
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic on bad program")
+		}
+	}()
+	b := New("bad")
+	b.J("missing")
+	b.MustBuild()
+}
+
+type nopMem struct{}
+
+func (nopMem) Load(uint64, int) uint64   { return 0 }
+func (nopMem) Store(uint64, int, uint64) {}

@@ -1,0 +1,181 @@
+package cache
+
+import (
+	"testing"
+
+	"mtvp/internal/config"
+	"mtvp/internal/stats"
+)
+
+func testCfg() *config.Config {
+	cfg := config.Baseline()
+	return &cfg
+}
+
+func newH(t *testing.T, pref bool) (*Hierarchy, *stats.Stats) {
+	t.Helper()
+	cfg := testCfg()
+	cfg.Prefetch.Enabled = pref
+	st := &stats.Stats{}
+	return NewHierarchy(cfg, st), st
+}
+
+func TestColdMissGoesToMemory(t *testing.T) {
+	h, st := newH(t, false)
+	ready, lvl := h.Load(0x100, 0xABC000, 1000)
+	if lvl != HitMem {
+		t.Fatalf("cold access hit %v", lvl)
+	}
+	if ready != 1000+1000 {
+		t.Errorf("memory ready = %d, want 2000", ready)
+	}
+	if st.DL1Miss != 1 || st.L2Miss != 1 || st.L3Miss != 1 {
+		t.Errorf("miss counters: %d %d %d", st.DL1Miss, st.L2Miss, st.L3Miss)
+	}
+}
+
+func TestHitAfterFill(t *testing.T) {
+	h, _ := newH(t, false)
+	h.Load(0x100, 0xABC000, 0)
+	ready, lvl := h.Load(0x100, 0xABC008, 5000) // same line, after fill
+	if lvl != HitL1 {
+		t.Fatalf("refill access hit %v, want L1", lvl)
+	}
+	if ready != 5002 {
+		t.Errorf("L1 hit ready = %d, want 5002", ready)
+	}
+}
+
+func TestInFlightLineMergesMisses(t *testing.T) {
+	h, _ := newH(t, false)
+	r1, _ := h.Load(0x100, 0xABC000, 100)
+	// Second access to the same line 10 cycles later must wait for the
+	// first fill, not start a new 1000-cycle miss.
+	r2, lvl := h.Load(0x104, 0xABC008, 110)
+	if lvl != HitL1 {
+		t.Fatalf("merged access hit %v, want L1 (tag present)", lvl)
+	}
+	if r2 != r1 {
+		t.Errorf("merged access ready = %d, want %d (first fill)", r2, r1)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	h, _ := newH(t, false)
+	cfg := testCfg()
+	// Fill one DL1 set (2 ways) plus one more line mapping to it.
+	sets := cfg.DL1.Sets()
+	line := uint64(cfg.DL1.LineBytes)
+	a := uint64(0x100000)
+	b := a + uint64(sets)*line   // same set, different tag
+	c := a + 2*uint64(sets)*line // same set, third tag
+	h.Load(0, a, 0)
+	h.Load(0, b, 2000)
+	h.Load(0, a, 4000) // touch a: b becomes LRU
+	h.Load(0, c, 6000) // evicts b
+	_, lvl := h.Load(0, a, 8000)
+	if lvl != HitL1 {
+		t.Errorf("recently used line evicted (hit %v)", lvl)
+	}
+	_, lvl = h.Load(0, b, 10000)
+	if lvl == HitL1 {
+		t.Errorf("LRU line not evicted")
+	}
+}
+
+func TestL2AndL3Hits(t *testing.T) {
+	h, _ := newH(t, false)
+	cfg := testCfg()
+	line := uint64(cfg.DL1.LineBytes)
+	// Load enough distinct lines to spill the 64KB DL1 but stay in L2.
+	n := cfg.DL1.SizeBytes/cfg.DL1.LineBytes + 64
+	for i := 0; i < n; i++ {
+		h.Load(0, uint64(i)*line, int64(i)*2000)
+	}
+	// Line 0 fell out of DL1 but is in L2.
+	_, lvl := h.Load(0, 0, int64(n)*2000+10)
+	if lvl != HitL2 {
+		t.Errorf("spilled line hit %v, want L2", lvl)
+	}
+}
+
+func TestStoreAllocates(t *testing.T) {
+	h, st := newH(t, false)
+	h.Store(0xFE0000)
+	if st.Stores != 1 {
+		t.Errorf("store count %d", st.Stores)
+	}
+	_, lvl := h.Load(0, 0xFE0000, 100)
+	if lvl != HitL1 {
+		t.Errorf("store-allocated line hit %v", lvl)
+	}
+}
+
+func TestInstFetch(t *testing.T) {
+	h, _ := newH(t, false)
+	r := h.InstFetch(0x40, 0)
+	if r != 1000 {
+		t.Errorf("cold ifetch ready = %d, want 1000", r)
+	}
+	r = h.InstFetch(0x40, 2000)
+	if r != 2002 {
+		t.Errorf("warm ifetch ready = %d, want 2002 (2-cycle IL1)", r)
+	}
+}
+
+func TestProbeLevelNoSideEffects(t *testing.T) {
+	h, st := newH(t, false)
+	if lvl := h.ProbeLevel(0x123400); lvl != HitMem {
+		t.Errorf("cold probe = %v", lvl)
+	}
+	if st.Loads != 0 {
+		t.Error("probe counted as a load")
+	}
+	h.Load(0, 0x123400, 0)
+	if lvl := h.ProbeLevel(0x123400); lvl != HitL1 {
+		t.Errorf("post-fill probe = %v", lvl)
+	}
+}
+
+func TestStridePrefetchCoversStream(t *testing.T) {
+	h, st := newH(t, true)
+	cfg := testCfg()
+	line := int64(cfg.DL1.LineBytes)
+	pc := uint64(0x44)
+	now := int64(0)
+	// Sequential line-stride loads from one PC. After training, stream
+	// buffers should supply later lines.
+	streamHitSeen := false
+	for i := int64(0); i < 64; i++ {
+		addr := uint64(0x200000 + i*line)
+		ready, lvl := h.Load(pc, addr, now)
+		if lvl == HitStream {
+			streamHitSeen = true
+		}
+		now = ready + 10
+	}
+	if !streamHitSeen {
+		t.Error("no stream-buffer hits on a pure line-stride stream")
+	}
+	if st.PrefIssued == 0 {
+		t.Error("prefetcher never issued")
+	}
+}
+
+func TestPrefetchReducesStallVsNoPrefetch(t *testing.T) {
+	run := func(pref bool) int64 {
+		h, _ := newH(t, pref)
+		cfg := testCfg()
+		line := int64(cfg.DL1.LineBytes)
+		now := int64(0)
+		for i := int64(0); i < 128; i++ {
+			ready, _ := h.Load(0x44, uint64(0x400000+i*line), now)
+			now = ready + 5
+		}
+		return now
+	}
+	without, with := run(false), run(true)
+	if with >= without {
+		t.Errorf("prefetching did not help: %d cycles with vs %d without", with, without)
+	}
+}

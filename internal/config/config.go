@@ -1,0 +1,421 @@
+// Package config defines the architectural parameters of the simulated
+// machine. The defaults returned by Baseline reproduce Table 1 of Tuck &
+// Tullsen, "Multithreaded Value Prediction" (HPCA-11, 2005); preset helpers
+// derive the paper's other machine configurations (STVP, MTVP, spawn-only,
+// idealized wide-window) from it.
+package config
+
+import "fmt"
+
+// CacheParams describes one cache level.
+type CacheParams struct {
+	Name      string
+	SizeBytes int
+	Assoc     int
+	LineBytes int
+	Latency   int // access latency in cycles on a hit
+}
+
+// Sets returns the number of sets implied by size, associativity, and line
+// size.
+func (c CacheParams) Sets() int {
+	return c.SizeBytes / (c.Assoc * c.LineBytes)
+}
+
+// PrefetchParams configures the PC-based stride prefetcher of Table 1.
+type PrefetchParams struct {
+	Enabled       bool
+	Entries       int // PC-indexed stride table entries (256)
+	StreamBuffers int // concurrent stream buffers (8)
+	BufferDepth   int // lines each stream buffer runs ahead
+	MinConfidence int // stride repeats required before allocating a stream
+}
+
+// BranchParams sizes the 2bcgskew predictor of Table 1.
+type BranchParams struct {
+	MetaEntries    int // meta chooser (64K)
+	GshareEntries  int // gshare/gskew tables (64K)
+	BimodalEntries int // bimodal table (16K)
+	HistBits       int // global history length
+}
+
+// VPMode selects the value-prediction architecture.
+type VPMode int
+
+// Value-prediction architectures evaluated in the paper.
+const (
+	// VPNone disables value prediction (the baseline machine).
+	VPNone VPMode = iota
+	// VPSTVP is traditional single-threaded value prediction with
+	// selective-reissue recovery.
+	VPSTVP
+	// VPMTVP is threaded value prediction: predicted loads spawn a
+	// speculative hardware thread that may commit past the load.
+	// Single-thread predictions are still made when no context is free.
+	VPMTVP
+)
+
+func (m VPMode) String() string {
+	switch m {
+	case VPSTVP:
+		return "stvp"
+	case VPMTVP:
+		return "mtvp"
+	default:
+		return "novp"
+	}
+}
+
+// PredictorKind names a value predictor implementation.
+type PredictorKind int
+
+// Value predictors implemented in internal/vpred.
+const (
+	PredOracle PredictorKind = iota // always-correct (limit study)
+	PredWangFranklin
+	PredDFCM
+	PredFCM
+	PredLastValue
+	PredStride
+)
+
+func (k PredictorKind) String() string {
+	switch k {
+	case PredOracle:
+		return "oracle"
+	case PredWangFranklin:
+		return "wf"
+	case PredDFCM:
+		return "dfcm3"
+	case PredFCM:
+		return "fcm3"
+	case PredLastValue:
+		return "lastvalue"
+	case PredStride:
+		return "stride"
+	default:
+		return "pred?"
+	}
+}
+
+// SelectorKind names a criticality (load-selection) predictor.
+type SelectorKind int
+
+// Criticality predictors implemented in internal/crit.
+const (
+	// SelILPPred tracks per-PC forward progress for each prediction mode
+	// and only allows modes that beat no-prediction (the paper's default).
+	SelILPPred SelectorKind = iota
+	// SelL3Oracle predicts loads that miss to memory (MTVP) or miss in
+	// the L1 (STVP), using oracle cache knowledge.
+	SelL3Oracle
+	// SelAlways predicts every confident load.
+	SelAlways
+	// SelNever disables selection (no loads are predicted).
+	SelNever
+)
+
+func (k SelectorKind) String() string {
+	switch k {
+	case SelILPPred:
+		return "ilp-pred"
+	case SelL3Oracle:
+		return "l3-oracle"
+	case SelAlways:
+		return "always"
+	default:
+		return "never"
+	}
+}
+
+// FetchPolicy selects what the spawning thread does after an MTVP spawn.
+type FetchPolicy int
+
+const (
+	// FetchSFP is single fetch path MTVP: the parent stops fetching until
+	// its prediction is confirmed (the paper's default and best policy).
+	FetchSFP FetchPolicy = iota
+	// FetchNoStall lets the parent keep fetching, with ICOUNT arbitrating
+	// between parent and children (shown counterproductive in Figure 4).
+	FetchNoStall
+)
+
+func (p FetchPolicy) String() string {
+	if p == FetchNoStall {
+		return "no-stall"
+	}
+	return "sfp"
+}
+
+// WangFranklinParams sizes the hybrid Wang–Franklin predictor (§5.4).
+type WangFranklinParams struct {
+	VHTEntries    int // value history table (4K)
+	ValPHTEntries int // value pattern history table (32K)
+	LearnedValues int // learned value slots per VHT entry (5)
+	HistLen       int // pattern history length in outcomes
+	ConfMax       int // saturating confidence ceiling (32)
+	ConfInc       int // increment on correct prediction (1)
+	ConfDec       int // decrement on incorrect prediction (8)
+	Threshold     int // minimum confidence to predict (12)
+}
+
+// DFCMParams sizes the order-3 differential FCM predictor with Burtscher's
+// improved index function.
+type DFCMParams struct {
+	Order     int
+	L1Entries int
+	L2Entries int
+	ConfMax   int
+	ConfInc   int
+	ConfDec   int
+	Threshold int
+}
+
+// VPParams configures value prediction and the MTVP machinery.
+type VPParams struct {
+	Mode      VPMode
+	Predictor PredictorKind
+	Selector  SelectorKind
+
+	// SpawnLatency is the cycles needed to flash-copy the register map
+	// and spawn a thread (1, 8, or 16 in §5.2).
+	SpawnLatency int
+	// StoreBufEntries bounds each speculative context's store buffer;
+	// 0 means unbounded (the oracle limit study of §5.1).
+	StoreBufEntries int
+	// SharedStoreBuf switches to the §3.3 single-fetch-path simplification:
+	// one tagged store buffer whose SharedStoreBufEntries are shared by all
+	// contexts, instead of a private buffer per context.
+	SharedStoreBuf        bool
+	SharedStoreBufEntries int
+	FetchPolicy           FetchPolicy
+
+	// MultiValue enables following several predicted values for one load
+	// (§5.6). MaxValuesPerLoad bounds the children spawned per load.
+	MultiValue       bool
+	MaxValuesPerLoad int
+	// LiberalThreshold, when nonzero, lowers the confidence threshold for
+	// secondary values in multi-value mode (the "more liberal predictor").
+	LiberalThreshold int
+
+	// SpawnOnly spawns a thread at a selected load without substituting a
+	// predicted value: dependents wait for the real load, only independent
+	// work proceeds (the "split-window" comparison of Figure 6).
+	SpawnOnly bool
+
+	WF   WangFranklinParams
+	DFCM DFCMParams
+}
+
+// Config holds every architectural parameter of the simulated machine.
+type Config struct {
+	// Front end.
+	FetchWidth    int // instructions fetched per cycle (16)
+	FetchBlocks   int // cache lines fetchable per cycle (2)
+	FrontEndDepth int // fetch-to-dispatch stages; sets mispredict cost
+	Contexts      int // hardware thread contexts (1, 2, 4, 8)
+
+	// Window.
+	ROBSize    int // shared reorder buffer entries (256)
+	RenameRegs int // shared rename registers beyond architectural (224)
+	IQSize     int // integer queue (64)
+	FQSize     int // FP queue (64)
+	MQSize     int // memory queue (64)
+
+	// Issue and commit.
+	IssueWidth  int // total issue bandwidth (8)
+	IntIssue    int // integer issue slots (6)
+	FPIssue     int // FP issue slots (2)
+	MemIssue    int // load/store issue slots (4)
+	CommitWidth int // commit bandwidth (8)
+
+	// Functional unit latencies (cycles).
+	LatIntALU int
+	LatIntMul int
+	LatIntDiv int
+	LatFPAdd  int
+	LatFPMul  int
+	LatFPDiv  int
+
+	// Memory hierarchy.
+	ICache     CacheParams
+	DL1        CacheParams
+	L2         CacheParams
+	L3         CacheParams
+	MemLatency int // main memory (1000)
+
+	Prefetch PrefetchParams
+	Branch   BranchParams
+	VP       VPParams
+
+	// Run limits.
+	MaxInsts  uint64 // stop after this many useful committed instructions
+	MaxCycles uint64 // hard safety stop
+	Seed      uint64 // workload/data seed
+}
+
+// Baseline returns the Table 1 machine with value prediction disabled.
+func Baseline() Config {
+	return Config{
+		FetchWidth:    16,
+		FetchBlocks:   2,
+		FrontEndDepth: 15, // half of the 30-stage pipe is the front end
+		Contexts:      1,
+
+		ROBSize:    256,
+		RenameRegs: 224,
+		IQSize:     64,
+		FQSize:     64,
+		MQSize:     64,
+
+		IssueWidth:  8,
+		IntIssue:    6,
+		FPIssue:     2,
+		MemIssue:    4,
+		CommitWidth: 8,
+
+		LatIntALU: 1,
+		LatIntMul: 3,
+		LatIntDiv: 20,
+		LatFPAdd:  4,
+		LatFPMul:  4,
+		LatFPDiv:  16,
+
+		ICache:     CacheParams{Name: "IL1", SizeBytes: 64 << 10, Assoc: 2, LineBytes: 64, Latency: 2},
+		DL1:        CacheParams{Name: "DL1", SizeBytes: 64 << 10, Assoc: 2, LineBytes: 64, Latency: 2},
+		L2:         CacheParams{Name: "L2", SizeBytes: 512 << 10, Assoc: 8, LineBytes: 64, Latency: 20},
+		L3:         CacheParams{Name: "L3", SizeBytes: 4 << 20, Assoc: 16, LineBytes: 64, Latency: 50},
+		MemLatency: 1000,
+
+		Prefetch: PrefetchParams{
+			Enabled:       true,
+			Entries:       256,
+			StreamBuffers: 8,
+			BufferDepth:   4,
+			MinConfidence: 2,
+		},
+		Branch: BranchParams{
+			MetaEntries:    64 << 10,
+			GshareEntries:  64 << 10,
+			BimodalEntries: 16 << 10,
+			HistBits:       14,
+		},
+		VP: VPParams{
+			Mode:             VPNone,
+			Predictor:        PredWangFranklin,
+			Selector:         SelILPPred,
+			SpawnLatency:     8,
+			StoreBufEntries:  128,
+			FetchPolicy:      FetchSFP,
+			MaxValuesPerLoad: 1,
+			WF:               DefaultWF(),
+			DFCM:             DefaultDFCM(),
+		},
+
+		MaxInsts:  500_000,
+		MaxCycles: 80_000_000,
+		Seed:      1,
+	}
+}
+
+// DefaultWF returns the paper's Wang–Franklin predictor sizing (§5.4).
+func DefaultWF() WangFranklinParams {
+	return WangFranklinParams{
+		VHTEntries:    4096,
+		ValPHTEntries: 32768,
+		LearnedValues: 5,
+		HistLen:       6,
+		ConfMax:       32,
+		ConfInc:       1,
+		ConfDec:       8,
+		Threshold:     12,
+	}
+}
+
+// DefaultDFCM returns the order-3 DFCM sizing comparable to the WF tables.
+func DefaultDFCM() DFCMParams {
+	return DFCMParams{
+		Order:     3,
+		L1Entries: 4096,
+		L2Entries: 32768,
+		ConfMax:   32,
+		ConfInc:   1,
+		ConfDec:   4, // more aggressive than WF, as the paper observes
+		Threshold: 8,
+	}
+}
+
+// WithSTVP returns a copy configured for single-threaded value prediction.
+func (c Config) WithSTVP(pred PredictorKind, sel SelectorKind) Config {
+	c.VP.Mode = VPSTVP
+	c.VP.Predictor = pred
+	c.VP.Selector = sel
+	c.Contexts = 1
+	return c
+}
+
+// WithMTVP returns a copy configured for multithreaded value prediction with
+// the given number of hardware contexts.
+func (c Config) WithMTVP(contexts int, pred PredictorKind, sel SelectorKind) Config {
+	c.VP.Mode = VPMTVP
+	c.VP.Predictor = pred
+	c.VP.Selector = sel
+	c.Contexts = contexts
+	return c
+}
+
+// WideWindow returns the idealized checkpoint machine of §5.7: an 8192-entry
+// ROB, 8192-entry queues, and effectively unlimited rename registers, with no
+// value prediction.
+func (c Config) WideWindow() Config {
+	c.VP.Mode = VPNone
+	c.Contexts = 1
+	c.ROBSize = 8192
+	c.IQSize = 8192
+	c.FQSize = 8192
+	c.MQSize = 8192
+	c.RenameRegs = 1 << 20
+	return c
+}
+
+// SpawnOnly returns the split-window comparison machine of Figure 6: threads
+// are spawned at selected loads but no value is predicted.
+func (c Config) SpawnOnly(contexts int) Config {
+	c.VP.Mode = VPMTVP
+	c.VP.SpawnOnly = true
+	c.Contexts = contexts
+	return c
+}
+
+// Validate checks the configuration for inconsistencies.
+func (c *Config) Validate() error {
+	switch {
+	case c.Contexts < 1:
+		return fmt.Errorf("config: Contexts must be >= 1, got %d", c.Contexts)
+	case c.FetchWidth < 1:
+		return fmt.Errorf("config: FetchWidth must be >= 1, got %d", c.FetchWidth)
+	case c.ROBSize < 1 || c.IQSize < 1 || c.FQSize < 1 || c.MQSize < 1:
+		return fmt.Errorf("config: window sizes must be >= 1")
+	case c.IssueWidth < 1 || c.CommitWidth < 1:
+		return fmt.Errorf("config: issue/commit width must be >= 1")
+	case c.MemLatency < 1:
+		return fmt.Errorf("config: MemLatency must be >= 1, got %d", c.MemLatency)
+	case c.VP.Mode == VPMTVP && c.Contexts < 2 && !c.VP.SpawnOnly:
+		return fmt.Errorf("config: MTVP needs >= 2 contexts, got %d", c.Contexts)
+	case c.VP.SpawnLatency < 0:
+		return fmt.Errorf("config: SpawnLatency must be >= 0")
+	case c.VP.MultiValue && c.VP.MaxValuesPerLoad < 2:
+		return fmt.Errorf("config: MultiValue needs MaxValuesPerLoad >= 2")
+	case c.VP.SharedStoreBuf && c.VP.SharedStoreBufEntries < 1:
+		return fmt.Errorf("config: SharedStoreBuf needs SharedStoreBufEntries >= 1")
+	}
+	for _, cp := range []CacheParams{c.ICache, c.DL1, c.L2, c.L3} {
+		if cp.Sets() < 1 {
+			return fmt.Errorf("config: cache %s has no sets", cp.Name)
+		}
+		if cp.Sets()&(cp.Sets()-1) != 0 {
+			return fmt.Errorf("config: cache %s set count %d is not a power of two", cp.Name, cp.Sets())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+// Package core is the public face of the multithreaded value prediction
+// simulator: machine presets matching the paper's configurations, and the
+// Run entry point that executes a workload on a configured machine and
+// returns its statistics.
+//
+// A typical use:
+//
+//	bench := workload.ByName("mcf")
+//	prog, image := bench.Build(1)
+//	res, err := core.Run(core.MTVP(4, config.PredWangFranklin, config.SelILPPred), prog, image)
+//	fmt.Println(res.Stats.UsefulIPC())
+package core
+
+import (
+	"fmt"
+
+	"mtvp/internal/config"
+	"mtvp/internal/isa"
+	"mtvp/internal/mem"
+	"mtvp/internal/pipeline"
+	"mtvp/internal/stats"
+	"mtvp/internal/trace"
+)
+
+// Result holds the outcome of one simulation run.
+type Result struct {
+	Stats  stats.Stats
+	Halted bool // the program ran to completion (committed HALT)
+	// Regs is the surviving architectural thread's register file (valid
+	// when RegsOK; equivalence tests compare it against the functional
+	// reference).
+	Regs   [isa.NumRegs]uint64
+	RegsOK bool
+}
+
+// IPC returns the run's useful instructions per cycle.
+func (r *Result) IPC() float64 { return r.Stats.UsefulIPC() }
+
+// Run simulates prog with its initial memory image on the machine described
+// by cfg. The engine takes ownership of the image: after a run that ends at
+// a HALT, the image holds the committed architectural memory state.
+func Run(cfg config.Config, prog *isa.Program, image *mem.Memory) (*Result, error) {
+	return RunTraced(cfg, prog, image, nil)
+}
+
+// RunTraced is Run with an optional cycle-level event tracer attached
+// (see internal/trace). Tracing is observational: results are identical
+// with or without it.
+func RunTraced(cfg config.Config, prog *isa.Program, image *mem.Memory, tr trace.Tracer) (*Result, error) {
+	st := &stats.Stats{}
+	eng, err := pipeline.New(&cfg, prog, image, st)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if tr != nil {
+		eng.SetTracer(tr)
+	}
+	if err := eng.Run(); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", prog.Name, err)
+	}
+	if eng.Halted() {
+		eng.Finalize()
+	}
+	res := &Result{Stats: *st, Halted: eng.Halted()}
+	res.Regs, res.RegsOK = eng.ArchRegs()
+	return res, nil
+}
+
+// RunFunctional executes prog purely functionally (the reference machine)
+// against image and returns the final register file and instruction count.
+// The architectural-equivalence tests compare the timing simulator's final
+// state against this.
+func RunFunctional(prog *isa.Program, image *mem.Memory, maxInsts uint64) ([isa.NumRegs]uint64, uint64) {
+	ctx := isa.NewContext(prog, image)
+	n := ctx.Run(maxInsts)
+	return ctx.R, n
+}

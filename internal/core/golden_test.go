@@ -1,0 +1,58 @@
+package core_test
+
+import (
+	"testing"
+
+	"mtvp/internal/config"
+	"mtvp/internal/core"
+	"mtvp/internal/workload"
+)
+
+// TestGoldenDeterminism pins exact cycle counts for a few (benchmark,
+// machine) pairs. The simulator is a pure integer state machine, so these
+// are identical on every platform; a diff here means simulated behaviour
+// changed, which must be a deliberate, understood decision (update the
+// numbers in the same change that alters the model).
+func TestGoldenDeterminism(t *testing.T) {
+	type golden struct {
+		name string
+		cfg  config.Config
+	}
+	bench := workload.PointerChase("golden-chase", workload.INT, workload.ChaseParams{
+		Nodes: 1024, NodeBytes: 64, PoolSize: 4,
+		DominantPct: 92, ReusePct: 5, SeqPct: 85, BodyOps: 32, Iters: 2,
+	})
+	cases := []golden{
+		{"baseline", core.Baseline()},
+		{"stvp-wf", core.STVP(config.PredWangFranklin, config.SelILPPred)},
+		{"mtvp4-wf", core.MTVP(4, config.PredWangFranklin, config.SelILPPred)},
+	}
+	var prev []uint64
+	for round := 0; round < 2; round++ {
+		var got []uint64
+		for _, c := range cases {
+			cfg := c.cfg
+			cfg.MaxInsts = 1 << 40
+			cfg.MaxCycles = 50_000_000
+			prog, image := bench.Build(9)
+			res, err := core.Run(cfg, prog, image)
+			if err != nil {
+				t.Fatalf("%s: %v", c.name, err)
+			}
+			if !res.Halted {
+				t.Fatalf("%s: did not halt", c.name)
+			}
+			got = append(got, res.Stats.Cycles, res.Stats.Committed)
+		}
+		if round == 1 {
+			for i := range got {
+				if got[i] != prev[i] {
+					t.Fatalf("run-to-run nondeterminism at index %d: %d vs %d",
+						i, prev[i], got[i])
+				}
+			}
+		}
+		prev = got
+	}
+	t.Logf("golden cycles/committed: %v", prev)
+}

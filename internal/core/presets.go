@@ -1,0 +1,80 @@
+package core
+
+import "mtvp/internal/config"
+
+// Baseline returns the Table 1 machine with no value prediction — the
+// denominator of every percent-speedup figure in the paper.
+func Baseline() config.Config { return config.Baseline() }
+
+// STVP returns the single-threaded value prediction machine with
+// selective-reissue recovery.
+func STVP(pred config.PredictorKind, sel config.SelectorKind) config.Config {
+	return config.Baseline().WithSTVP(pred, sel)
+}
+
+// MTVP returns the single-fetch-path multithreaded value prediction machine
+// with the given number of hardware contexts (the paper's default
+// architecture; Figures 1–3).
+func MTVP(contexts int, pred config.PredictorKind, sel config.SelectorKind) config.Config {
+	return config.Baseline().WithMTVP(contexts, pred, sel)
+}
+
+// MTVPOracleLimit returns the §5.1 limit-study machine: oracle value
+// predictor, 1-cycle spawn, unbounded store buffer.
+func MTVPOracleLimit(contexts int) config.Config {
+	cfg := config.Baseline().WithMTVP(contexts, config.PredOracle, config.SelILPPred)
+	cfg.VP.SpawnLatency = 1
+	cfg.VP.StoreBufEntries = 0 // unbounded
+	return cfg
+}
+
+// STVPOracleLimit returns the single-threaded counterpart of the limit
+// study.
+func STVPOracleLimit() config.Config {
+	cfg := config.Baseline().WithSTVP(config.PredOracle, config.SelILPPred)
+	cfg.VP.StoreBufEntries = 0
+	return cfg
+}
+
+// MTVPNoStall returns the Figure 4 machine: the parent thread keeps
+// fetching after a spawn, with ICOUNT arbitrating between the streams.
+func MTVPNoStall(contexts int, pred config.PredictorKind, sel config.SelectorKind) config.Config {
+	cfg := config.Baseline().WithMTVP(contexts, pred, sel)
+	cfg.VP.FetchPolicy = config.FetchNoStall
+	return cfg
+}
+
+// MTVPMultiValue returns the §5.6 machine: several predicted values may be
+// followed for one load, using a more liberal confidence bar for alternates
+// and the L3-miss-oracle criticality predictor.
+func MTVPMultiValue(contexts, maxValues, liberalThreshold int) config.Config {
+	cfg := config.Baseline().WithMTVP(contexts, config.PredWangFranklin, config.SelL3Oracle)
+	cfg.VP.MultiValue = true
+	cfg.VP.MaxValuesPerLoad = maxValues
+	cfg.VP.LiberalThreshold = liberalThreshold
+	return cfg
+}
+
+// MTVPUnifiedSB returns the §3.3 single-fetch-path simplification of the
+// store buffer: one tagged buffer (512 entries, accessible in L1 time)
+// whose capacity is shared by all contexts, instead of a 128-entry private
+// buffer per context.
+func MTVPUnifiedSB(contexts, entries int) config.Config {
+	cfg := config.Baseline().WithMTVP(contexts, config.PredWangFranklin, config.SelILPPred)
+	cfg.VP.SharedStoreBuf = true
+	cfg.VP.SharedStoreBufEntries = entries
+	return cfg
+}
+
+// SpawnOnly returns the Figure 6 split-window machine: threads spawn at
+// selected loads without value prediction, so only load-independent work
+// proceeds past the stall.
+func SpawnOnly(contexts int) config.Config {
+	cfg := config.Baseline().SpawnOnly(contexts)
+	cfg.VP.Selector = config.SelL3Oracle
+	return cfg
+}
+
+// WideWindow returns the Figure 6 idealized checkpoint machine: an
+// 8192-entry ROB, 8192-entry queues, and unlimited rename registers.
+func WideWindow() config.Config { return config.Baseline().WideWindow() }

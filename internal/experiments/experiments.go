@@ -1,0 +1,166 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4–5). Each experiment builds the machine configurations it
+// compares, runs every benchmark on each (in parallel), and returns
+// formatted tables whose rows mirror the paper's: per-benchmark percent
+// speedup in useful IPC over the no-value-prediction baseline, with
+// geometric-mean average rows per suite.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mtvp/internal/config"
+	"mtvp/internal/core"
+	"mtvp/internal/stats"
+	"mtvp/internal/workload"
+)
+
+// Options controls experiment scale. The zero value is not usable; call
+// DefaultOptions.
+type Options struct {
+	Insts    uint64 // useful committed instructions per run
+	Seed     uint64
+	Parallel int // concurrent simulations
+	// Benchmarks to run; nil means the full SPEC stand-in suite.
+	Benchmarks []workload.Benchmark
+}
+
+// DefaultOptions returns experiment options sized for a complete
+// regeneration at moderate fidelity (~200k instructions per run, as a
+// SimPoint-style steady-state sample).
+func DefaultOptions() Options {
+	return Options{
+		Insts:    200_000,
+		Seed:     1,
+		Parallel: runtime.NumCPU(),
+	}
+}
+
+func (o Options) benches() []workload.Benchmark {
+	if o.Benchmarks != nil {
+		return o.Benchmarks
+	}
+	return workload.All()
+}
+
+func (o Options) apply(cfg config.Config) config.Config {
+	cfg.MaxInsts = o.Insts
+	cfg.Seed = o.Seed
+	return cfg
+}
+
+// run simulates one benchmark on one machine and returns the statistics.
+func (o Options) run(b workload.Benchmark, cfg config.Config) (*stats.Stats, error) {
+	prog, image := b.Build(o.Seed)
+	res, err := core.Run(o.apply(cfg), prog, image)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	return &res.Stats, nil
+}
+
+// job is one (benchmark, machine) simulation in a parallel sweep.
+type job struct {
+	bench   int
+	machine int
+}
+
+// sweep runs every benchmark on the baseline plus each machine, returning
+// IPCs indexed [bench][machine]; index 0 is the baseline.
+func (o Options) sweep(benches []workload.Benchmark, machines []config.Config) ([][]float64, error) {
+	return o.sweepAgainst(core.Baseline(), benches, machines)
+}
+
+// sweepAgainst is sweep with an explicit baseline machine (ablations that
+// change the substrate, e.g. disabling the prefetcher, compare against a
+// matching baseline).
+func (o Options) sweepAgainst(base config.Config, benches []workload.Benchmark, machines []config.Config) ([][]float64, error) {
+	cfgs := append([]config.Config{base}, machines...)
+	ipc := make([][]float64, len(benches))
+	for i := range ipc {
+		ipc[i] = make([]float64, len(cfgs))
+	}
+
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	workers := o.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				st, err := o.run(benches[j.bench], cfgs[j.machine])
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if err == nil {
+					ipc[j.bench][j.machine] = st.UsefulIPC()
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for bi := range benches {
+		for mi := range cfgs {
+			jobs <- job{bench: bi, machine: mi}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return ipc, firstErr
+}
+
+// speedupTables converts a sweep into the paper's presentation: one table
+// per suite, per-benchmark percent speedups over the baseline column, with
+// a geometric-mean row.
+func speedupTables(title string, columns []string, benches []workload.Benchmark, ipc [][]float64) []*stats.Table {
+	var tables []*stats.Table
+	for _, suite := range []workload.Suite{workload.INT, workload.FP} {
+		t := &stats.Table{
+			Title:   fmt.Sprintf("%s — %s", title, suite),
+			Columns: columns,
+		}
+		for bi, b := range benches {
+			if b.Suite != suite {
+				continue
+			}
+			row := make([]float64, len(columns))
+			for mi := range columns {
+				row[mi] = stats.SpeedupPct(ipc[bi][0], ipc[bi][mi+1])
+			}
+			t.Add(b.Name, row...)
+		}
+		if len(t.Rows) == 0 {
+			continue
+		}
+		t.AddGeoMean("average")
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// averagesOnly reduces per-benchmark tables to their average rows (the
+// presentation Figures 2 and 6 use).
+func averagesOnly(title string, columns []string, tables []*stats.Table) *stats.Table {
+	out := &stats.Table{Title: title, Columns: columns}
+	for _, t := range tables {
+		for _, r := range t.Rows {
+			if r.Name == "average" {
+				name := "AVG INT"
+				if len(out.Rows) > 0 {
+					name = "AVG FP"
+				}
+				out.Add(name, r.Values...)
+			}
+		}
+	}
+	return out
+}

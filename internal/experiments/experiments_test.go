@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mtvp/internal/stats"
+
+	"mtvp/internal/workload"
+)
+
+// tinyOpts runs experiments on two small custom kernels with a short budget
+// so the whole harness is exercised quickly.
+func tinyOpts() Options {
+	o := DefaultOptions()
+	o.Insts = 4000
+	o.Benchmarks = []workload.Benchmark{
+		workload.PointerChase("x-int", workload.INT, workload.ChaseParams{
+			Nodes: 1024, NodeBytes: 64, PoolSize: 4,
+			DominantPct: 92, ReusePct: 5, SeqPct: 85, BodyOps: 24, Iters: 1 << 20,
+		}),
+		workload.Gather("x-fp", workload.FP, workload.GatherParams{
+			Items: 4096, TableLen: 1 << 14, PoolSize: 4,
+			DominantPct: 90, ReusePct: 5, FPData: true, BodyOps: 24, Iters: 1 << 20,
+		}),
+	}
+	return o
+}
+
+func TestTable1Renders(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{
+		"30 stages", "16 total instructions from 2 cachelines",
+		"2bcgskew: 64K meta and gshare, 16K bimodal",
+		"256 entries", "1000 cycles", "4MB 16-way",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func checkTables(t *testing.T, tables []*stats.Table, wantCols int) {
+	t.Helper()
+	if len(tables) == 0 {
+		t.Fatal("no tables")
+	}
+	for _, tab := range tables {
+		if len(tab.Columns) != wantCols {
+			t.Errorf("%q: %d columns, want %d", tab.Title, len(tab.Columns), wantCols)
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%q: no rows", tab.Title)
+		}
+		for _, r := range tab.Rows {
+			if len(r.Values) != len(tab.Columns) {
+				t.Errorf("%q/%s: %d values for %d columns",
+					tab.Title, r.Name, len(r.Values), len(tab.Columns))
+			}
+		}
+	}
+}
+
+func TestFig1(t *testing.T) {
+	tables, err := Fig1(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTables(t, tables, 4)
+	if len(tables) != 2 {
+		t.Errorf("%d suite tables, want 2 (INT, FP)", len(tables))
+	}
+}
+
+func TestFig3(t *testing.T) {
+	tables, err := Fig3(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTables(t, tables, 4)
+}
+
+func TestFig2(t *testing.T) {
+	tables, err := Fig2(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("%d latency tables, want 3", len(tables))
+	}
+	checkTables(t, tables, 4)
+}
+
+func TestStoreBufferSweep(t *testing.T) {
+	tab, err := StoreBufferSweep(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Columns) != 7 {
+		t.Errorf("%d sizes, want 7", len(tab.Columns))
+	}
+}
+
+func TestFig4(t *testing.T) {
+	tables, err := Fig4(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTables(t, tables, 5)
+}
+
+func TestFig5(t *testing.T) {
+	tables, err := Fig5(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range tables {
+		for _, r := range tab.Rows {
+			if r.Values[0] < 0 || r.Values[0] > 1 {
+				t.Errorf("fraction %v out of range", r.Values[0])
+			}
+		}
+	}
+}
+
+func TestFig6(t *testing.T) {
+	tables, err := Fig6(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTables(t, tables, 3)
+}
+
+func TestMultiValue(t *testing.T) {
+	tables, err := MultiValue(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTables(t, tables, 3)
+}
+
+func TestDFCMCompare(t *testing.T) {
+	tables, err := DFCMCompare(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTables(t, tables, 4)
+}
+
+func TestAblations(t *testing.T) {
+	if tables, err := PrefetchAblation(tinyOpts()); err != nil || len(tables) == 0 {
+		t.Errorf("prefetch ablation: %v", err)
+	}
+	if tables, err := SelectorCompare(tinyOpts()); err != nil || len(tables) == 0 {
+		t.Errorf("selector compare: %v", err)
+	}
+}
+
+func TestSweepParallelDeterminism(t *testing.T) {
+	// The parallel sweep must give identical results regardless of worker
+	// count (runs are independent; placement must not matter).
+	o := tinyOpts()
+	o.Parallel = 1
+	t1, err := Fig3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Parallel = 8
+	t8, err := Fig3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range t1 {
+		for j, r := range t1[i].Rows {
+			for k, v := range r.Values {
+				if t8[i].Rows[j].Values[k] != v {
+					t.Fatalf("parallelism changed results: %v vs %v",
+						v, t8[i].Rows[j].Values[k])
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateReportTiny(t *testing.T) {
+	var buf strings.Builder
+	if err := GenerateReport(tinyOpts(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# EXPERIMENTS — paper vs. measured",
+		"## Figure 1", "## Figure 2", "## Section 5.3", "## Figure 3",
+		"## Section 5.4", "## Figure 4", "## Figure 5", "## Section 5.6",
+		"## Figure 6", "## Ablations", "Verdict:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Programs serialise to a small binary format so assembled workloads can be
+// written to disk and reloaded (e.g. to ship a kernel alongside a trace).
+//
+// Layout (little-endian):
+//
+//	magic   "MTVP"        4 bytes
+//	version uint32        currently 1
+//	nameLen uint32, name  UTF-8 bytes
+//	codeBase uint64
+//	count   uint32        instruction count
+//	insts   count × 12    op u8, rd u8, rs1 u8, rs2 u8, imm i64
+const (
+	progMagic   = "MTVP"
+	progVersion = 1
+)
+
+// WriteTo serialises the program. It implements io.WriterTo.
+func (p *Program) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	write := func(data interface{}) error {
+		if err := binary.Write(w, binary.LittleEndian, data); err != nil {
+			return err
+		}
+		n += int64(binary.Size(data))
+		return nil
+	}
+	if _, err := io.WriteString(w, progMagic); err != nil {
+		return n, err
+	}
+	n += int64(len(progMagic))
+	if err := write(uint32(progVersion)); err != nil {
+		return n, err
+	}
+	if err := write(uint32(len(p.Name))); err != nil {
+		return n, err
+	}
+	if _, err := io.WriteString(w, p.Name); err != nil {
+		return n, err
+	}
+	n += int64(len(p.Name))
+	if err := write(p.CodeBase); err != nil {
+		return n, err
+	}
+	if err := write(uint32(len(p.Insts))); err != nil {
+		return n, err
+	}
+	for _, in := range p.Insts {
+		if err := write([4]uint8{uint8(in.Op), uint8(in.Rd), uint8(in.Rs1), uint8(in.Rs2)}); err != nil {
+			return n, err
+		}
+		if err := write(in.Imm); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ReadProgram deserialises a program written by WriteTo, validating the
+// magic, version, opcodes, and registers.
+func ReadProgram(r io.Reader) (*Program, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("isa: reading magic: %w", err)
+	}
+	if string(magic[:]) != progMagic {
+		return nil, fmt.Errorf("isa: bad magic %q", magic)
+	}
+	read := func(data interface{}) error {
+		return binary.Read(r, binary.LittleEndian, data)
+	}
+	var version, nameLen uint32
+	if err := read(&version); err != nil {
+		return nil, err
+	}
+	if version != progVersion {
+		return nil, fmt.Errorf("isa: unsupported program version %d", version)
+	}
+	if err := read(&nameLen); err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("isa: unreasonable name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return nil, err
+	}
+	p := &Program{Name: string(name)}
+	if err := read(&p.CodeBase); err != nil {
+		return nil, err
+	}
+	var count uint32
+	if err := read(&count); err != nil {
+		return nil, err
+	}
+	if count > 1<<24 {
+		return nil, fmt.Errorf("isa: unreasonable instruction count %d", count)
+	}
+	p.Insts = make([]Inst, count)
+	for i := range p.Insts {
+		var ops [4]uint8
+		if err := read(&ops); err != nil {
+			return nil, err
+		}
+		in := Inst{Op: Op(ops[0]), Rd: Reg(ops[1]), Rs1: Reg(ops[2]), Rs2: Reg(ops[3])}
+		if err := read(&in.Imm); err != nil {
+			return nil, err
+		}
+		if in.Op >= numOps {
+			return nil, fmt.Errorf("isa: instruction %d: bad opcode %d", i, in.Op)
+		}
+		if in.Rd >= NumRegs || in.Rs1 >= NumRegs || in.Rs2 >= NumRegs {
+			return nil, fmt.Errorf("isa: instruction %d: bad register", i)
+		}
+		p.Insts[i] = in
+	}
+	return p, nil
+}

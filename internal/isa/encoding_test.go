@@ -1,0 +1,104 @@
+package isa
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestProgramRoundTrip(t *testing.T) {
+	p := &Program{
+		Name:     "round-trip",
+		CodeBase: 0x4000,
+		Insts: []Inst{
+			{Op: LI, Rd: R1, Imm: -12345},
+			{Op: ADD, Rd: R2, Rs1: R1, Rs2: R3},
+			{Op: FLD, Rd: F4, Rs1: R2, Imm: 64},
+			{Op: BEQ, Rs1: R1, Rs2: R2, Imm: 0},
+			{Op: HALT},
+		},
+	}
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProgram(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != p.Name || got.CodeBase != p.CodeBase || len(got.Insts) != len(p.Insts) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range p.Insts {
+		if got.Insts[i] != p.Insts[i] {
+			t.Errorf("inst %d: %+v != %+v", i, got.Insts[i], p.Insts[i])
+		}
+	}
+}
+
+// Property: any program of valid instructions round-trips exactly.
+func TestProgramRoundTripQuick(t *testing.T) {
+	f := func(name string, base uint64, raw []struct {
+		Op       uint8
+		Rd, A, B uint8
+		Imm      int64
+	}) bool {
+		if len(name) > 1000 {
+			name = name[:1000]
+		}
+		p := &Program{Name: name, CodeBase: base}
+		for _, r := range raw {
+			p.Insts = append(p.Insts, Inst{
+				Op:  Op(r.Op % uint8(numOps)),
+				Rd:  Reg(r.Rd % NumRegs),
+				Rs1: Reg(r.A % NumRegs),
+				Rs2: Reg(r.B % NumRegs),
+				Imm: r.Imm,
+			})
+		}
+		var buf bytes.Buffer
+		if _, err := p.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadProgram(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Name != p.Name || got.CodeBase != p.CodeBase || len(got.Insts) != len(p.Insts) {
+			return false
+		}
+		for i := range p.Insts {
+			if got.Insts[i] != p.Insts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadProgramRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOPE\x01\x00\x00\x00"),
+		"truncated": []byte("MTVP\x01\x00\x00"),
+	}
+	for name, data := range cases {
+		if _, err := ReadProgram(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Valid header, invalid opcode.
+	p := &Program{Name: "x", Insts: []Inst{{Op: HALT}}}
+	var buf bytes.Buffer
+	p.WriteTo(&buf)
+	data := buf.Bytes()
+	data[len(data)-12] = 0xFF // corrupt the opcode byte
+	if _, err := ReadProgram(bytes.NewReader(data)); err == nil ||
+		!strings.Contains(err.Error(), "opcode") {
+		t.Errorf("bad opcode accepted or wrong error: %v", err)
+	}
+}

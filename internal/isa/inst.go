@@ -1,0 +1,118 @@
+package isa
+
+import "fmt"
+
+// Inst is one struct-encoded instruction. Field meaning depends on the
+// opcode; see the Op documentation. Unused fields are zero.
+type Inst struct {
+	Op  Op
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Imm int64
+}
+
+// HasDest reports whether the instruction writes a register. A write to R0
+// is treated as no destination (R0 is hardwired to zero).
+func (in Inst) HasDest() bool {
+	switch in.Op.Class() {
+	case ClassStore, ClassBranch, ClassHalt, ClassNop:
+		return false
+	case ClassJump:
+		if in.Op != JAL {
+			return false
+		}
+	}
+	return in.Rd != R0
+}
+
+// SrcRegs appends the registers the instruction reads to dst and returns
+// the result. R0 is omitted: it is always ready and always zero.
+func (in Inst) SrcRegs(dst []Reg) []Reg {
+	add := func(r Reg) {
+		if r != R0 {
+			dst = append(dst, r)
+		}
+	}
+	switch in.Op {
+	case NOP, LI, J, JAL, HALT:
+		// no register sources
+	case ADD, SUB, MUL, DIV, REM, AND, OR, XOR, SLL, SRL, SRA, SLT, SLTU,
+		FADD, FSUB, FMUL, FDIV, FLT, FLE, FEQ,
+		BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		add(in.Rs1)
+		add(in.Rs2)
+	case SB, SH, SW, SD, FSD:
+		add(in.Rs1) // address base
+		add(in.Rs2) // store data
+	default:
+		// immediate ALU, unary FP, loads, JR: one source
+		add(in.Rs1)
+	}
+	return dst
+}
+
+// String renders the instruction in assembly-like form.
+func (in Inst) String() string {
+	r := func(x Reg) string {
+		if x.IsFP() {
+			return fmt.Sprintf("f%d", x-32)
+		}
+		return fmt.Sprintf("r%d", x)
+	}
+	switch in.Op.Class() {
+	case ClassNop, ClassHalt:
+		return in.Op.String()
+	case ClassLoad:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, r(in.Rd), in.Imm, r(in.Rs1))
+	case ClassStore:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, r(in.Rs2), in.Imm, r(in.Rs1))
+	case ClassBranch:
+		return fmt.Sprintf("%s %s, %s, @%d", in.Op, r(in.Rs1), r(in.Rs2), in.Imm)
+	case ClassJump:
+		switch in.Op {
+		case J:
+			return fmt.Sprintf("j @%d", in.Imm)
+		case JAL:
+			return fmt.Sprintf("jal %s, @%d", r(in.Rd), in.Imm)
+		default:
+			return fmt.Sprintf("jr %s", r(in.Rs1))
+		}
+	}
+	switch in.Op {
+	case LI:
+		return fmt.Sprintf("li %s, %d", r(in.Rd), in.Imm)
+	case ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, MULI:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, r(in.Rd), r(in.Rs1), in.Imm)
+	case FSQRT, FNEG, FABS, ITOF, FTOI:
+		return fmt.Sprintf("%s %s, %s", in.Op, r(in.Rd), r(in.Rs1))
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, r(in.Rd), r(in.Rs1), r(in.Rs2))
+	}
+}
+
+// Program is an assembled instruction sequence. The PC is an index into
+// Insts; CodeBase maps instruction indices to byte addresses for the
+// instruction cache (each instruction occupies 4 bytes of the address space).
+type Program struct {
+	Name     string
+	Insts    []Inst
+	CodeBase uint64
+}
+
+// InstBytes is the architectural size of one instruction in the byte
+// address space seen by the instruction cache.
+const InstBytes = 4
+
+// InstAddr returns the byte address of the instruction at index pc.
+func (p *Program) InstAddr(pc int64) uint64 {
+	return p.CodeBase + uint64(pc)*InstBytes
+}
+
+// At returns the instruction at index pc and whether pc is in range.
+func (p *Program) At(pc int64) (Inst, bool) {
+	if pc < 0 || pc >= int64(len(p.Insts)) {
+		return Inst{}, false
+	}
+	return p.Insts[pc], true
+}

@@ -1,0 +1,293 @@
+// Package isa defines the synthetic 64-bit RISC instruction set executed by
+// the simulator, together with a functional interpreter whose contexts can be
+// forked — the property multithreaded value prediction depends on.
+//
+// The ISA is deliberately small but complete enough to express the SPEC-like
+// kernels in internal/workload: a flat 64-register file (32 integer, 32
+// floating point), three-operand ALU and FP arithmetic, sized loads and
+// stores, compare-and-branch control flow, and indirect jumps. Instructions
+// are struct-encoded (no bit packing); the program counter is an instruction
+// index, and branch/jump targets are absolute indices resolved by
+// internal/asm.
+package isa
+
+// Reg names one of the 64 architectural registers. Indices 0–31 are the
+// integer file (R0 is hardwired to zero); indices 32–63 are the floating
+// point file, whose values are stored as IEEE-754 bit patterns in uint64.
+type Reg uint8
+
+// NumRegs is the total architectural register count (integer + FP).
+const NumRegs = 64
+
+// Integer registers. R0 always reads as zero; writes to it are discarded.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	R16
+	R17
+	R18
+	R19
+	R20
+	R21
+	R22
+	R23
+	R24
+	R25
+	R26
+	R27
+	R28
+	R29
+	R30
+	R31
+)
+
+// Floating point registers F0–F31 occupy register indices 32–63.
+const (
+	F0 Reg = iota + 32
+	F1
+	F2
+	F3
+	F4
+	F5
+	F6
+	F7
+	F8
+	F9
+	F10
+	F11
+	F12
+	F13
+	F14
+	F15
+	F16
+	F17
+	F18
+	F19
+	F20
+	F21
+	F22
+	F23
+	F24
+	F25
+	F26
+	F27
+	F28
+	F29
+	F30
+	F31
+)
+
+// IsFP reports whether r belongs to the floating point file.
+func (r Reg) IsFP() bool { return r >= 32 }
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Opcodes. Three-operand forms are Rd ← Rs1 op Rs2; immediate forms are
+// Rd ← Rs1 op Imm. Memory operands address [Rs1 + Imm]. Branches compare
+// Rs1 with Rs2 and jump to the absolute instruction index in Imm.
+const (
+	NOP Op = iota
+
+	// Integer ALU, register forms.
+	ADD
+	SUB
+	MUL
+	DIV // unsigned divide; division by zero yields 0
+	REM // unsigned remainder; remainder by zero yields 0
+	AND
+	OR
+	XOR
+	SLL
+	SRL
+	SRA
+	SLT  // signed set-less-than
+	SLTU // unsigned set-less-than
+
+	// Integer ALU, immediate forms.
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	SRAI
+	MULI
+	LI // Rd ← Imm (full 64-bit immediate)
+
+	// Floating point (operands in the FP file unless noted).
+	FADD
+	FSUB
+	FMUL
+	FDIV // division by zero yields 0 (no IEEE traps in this ISA)
+	FSQRT
+	FNEG
+	FABS
+	FLT  // Rd(int) ← Rs1 < Rs2
+	FLE  // Rd(int) ← Rs1 <= Rs2
+	FEQ  // Rd(int) ← Rs1 == Rs2
+	ITOF // Rd(fp) ← float64(int64(Rs1))
+	FTOI // Rd(int) ← int64(float64(Rs1))
+
+	// Loads: Rd ← mem[Rs1+Imm]; sub-word loads zero-extend.
+	LB
+	LH
+	LW
+	LD
+	FLD // load 8 bytes into an FP register
+
+	// Stores: mem[Rs1+Imm] ← Rs2 (low Size bytes).
+	SB
+	SH
+	SW
+	SD
+	FSD // store an FP register's 8 bytes
+
+	// Control flow. Branch targets and J/JAL targets are absolute
+	// instruction indices carried in Imm.
+	BEQ
+	BNE
+	BLT  // signed
+	BGE  // signed
+	BLTU // unsigned
+	BGEU // unsigned
+	J
+	JAL // Rd ← PC+1 (link, as an instruction index), then jump
+	JR  // PC ← Rs1
+	HALT
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	NOP: "nop", ADD: "add", SUB: "sub", MUL: "mul", DIV: "div", REM: "rem",
+	AND: "and", OR: "or", XOR: "xor", SLL: "sll", SRL: "srl", SRA: "sra",
+	SLT: "slt", SLTU: "sltu",
+	ADDI: "addi", ANDI: "andi", ORI: "ori", XORI: "xori", SLLI: "slli",
+	SRLI: "srli", SRAI: "srai", MULI: "muli", LI: "li",
+	FADD: "fadd", FSUB: "fsub", FMUL: "fmul", FDIV: "fdiv", FSQRT: "fsqrt",
+	FNEG: "fneg", FABS: "fabs", FLT: "flt", FLE: "fle", FEQ: "feq",
+	ITOF: "itof", FTOI: "ftoi",
+	LB: "lb", LH: "lh", LW: "lw", LD: "ld", FLD: "fld",
+	SB: "sb", SH: "sh", SW: "sw", SD: "sd", FSD: "fsd",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge", BLTU: "bltu", BGEU: "bgeu",
+	J: "j", JAL: "jal", JR: "jr", HALT: "halt",
+}
+
+// String returns the mnemonic for the opcode.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return "op?"
+}
+
+// Class groups opcodes by the functional unit and issue queue they use.
+type Class uint8
+
+// Instruction classes. Loads and stores dispatch to the memory queue,
+// FP arithmetic to the FP queue, and everything else to the integer queue.
+const (
+	ClassNop Class = iota
+	ClassIntALU
+	ClassIntMul
+	ClassIntDiv
+	ClassFPAdd
+	ClassFPMul
+	ClassFPDiv
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassJump
+	ClassHalt
+)
+
+var classNames = []string{
+	ClassNop: "nop", ClassIntALU: "ialu", ClassIntMul: "imul",
+	ClassIntDiv: "idiv", ClassFPAdd: "fadd", ClassFPMul: "fmul",
+	ClassFPDiv: "fdiv", ClassLoad: "load", ClassStore: "store",
+	ClassBranch: "branch", ClassJump: "jump", ClassHalt: "halt",
+}
+
+// String returns a short name for the class.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "class?"
+}
+
+// Class returns the instruction class for the opcode.
+func (op Op) Class() Class {
+	switch op {
+	case NOP:
+		return ClassNop
+	case MUL, MULI:
+		return ClassIntMul
+	case DIV, REM:
+		return ClassIntDiv
+	case FADD, FSUB, FNEG, FABS, FLT, FLE, FEQ, ITOF, FTOI:
+		return ClassFPAdd
+	case FMUL:
+		return ClassFPMul
+	case FDIV, FSQRT:
+		return ClassFPDiv
+	case LB, LH, LW, LD, FLD:
+		return ClassLoad
+	case SB, SH, SW, SD, FSD:
+		return ClassStore
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		return ClassBranch
+	case J, JAL, JR:
+		return ClassJump
+	case HALT:
+		return ClassHalt
+	default:
+		return ClassIntALU
+	}
+}
+
+// IsLoad reports whether the opcode reads memory.
+func (op Op) IsLoad() bool { return op.Class() == ClassLoad }
+
+// IsStore reports whether the opcode writes memory.
+func (op Op) IsStore() bool { return op.Class() == ClassStore }
+
+// IsBranch reports whether the opcode is a conditional branch.
+func (op Op) IsBranch() bool { return op.Class() == ClassBranch }
+
+// IsControl reports whether the opcode can redirect the PC.
+func (op Op) IsControl() bool {
+	c := op.Class()
+	return c == ClassBranch || c == ClassJump || c == ClassHalt
+}
+
+// MemSize returns the access width in bytes for memory opcodes, or 0.
+func (op Op) MemSize() int {
+	switch op {
+	case LB, SB:
+		return 1
+	case LH, SH:
+		return 2
+	case LW, SW:
+		return 4
+	case LD, SD, FLD, FSD:
+		return 8
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,137 @@
+// Package mem provides the flat, sparsely paged physical memory image that
+// backs every simulation. Workloads initialise it deterministically; the
+// architectural thread's committed stores are its only writers during a run.
+package mem
+
+import "encoding/binary"
+
+const (
+	pageShift = 12
+	// PageSize is the allocation granule of the sparse image.
+	PageSize = 1 << pageShift
+	pageMask = PageSize - 1
+)
+
+// Memory is a sparse 64-bit byte-addressable memory. The zero value is an
+// empty memory where every byte reads as zero; pages are allocated on first
+// write. Memory implements isa.MemAccess.
+type Memory struct {
+	pages map[uint64]*[PageSize]byte
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*[PageSize]byte)}
+}
+
+func (m *Memory) page(addr uint64, alloc bool) *[PageSize]byte {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && alloc {
+		p = new([PageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// GetByte returns the byte at addr (zero if the page is unallocated).
+func (m *Memory) GetByte(addr uint64) byte {
+	if p := m.page(addr, false); p != nil {
+		return p[addr&pageMask]
+	}
+	return 0
+}
+
+// PutByte stores b at addr, allocating the page if needed.
+func (m *Memory) PutByte(addr uint64, b byte) {
+	m.page(addr, true)[addr&pageMask] = b
+}
+
+// Load reads size bytes (1, 2, 4, or 8) little-endian starting at addr and
+// zero-extends to uint64. Accesses may straddle page boundaries.
+func (m *Memory) Load(addr uint64, size int) uint64 {
+	// Fast path: aligned 8-byte access within one page.
+	if size == 8 && addr&7 == 0 {
+		if p := m.page(addr, false); p != nil {
+			off := addr & pageMask
+			return binary.LittleEndian.Uint64(p[off : off+8])
+		}
+		return 0
+	}
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(m.GetByte(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Store writes the low size bytes of val little-endian starting at addr.
+func (m *Memory) Store(addr uint64, size int, val uint64) {
+	if size == 8 && addr&7 == 0 {
+		p := m.page(addr, true)
+		off := addr & pageMask
+		binary.LittleEndian.PutUint64(p[off:off+8], val)
+		return
+	}
+	for i := 0; i < size; i++ {
+		m.PutByte(addr+uint64(i), byte(val>>(8*i)))
+	}
+}
+
+// Pages returns the number of allocated pages (for footprint reporting).
+func (m *Memory) Pages() int { return len(m.pages) }
+
+// Clone returns a deep copy of the memory image. The architectural-
+// equivalence tests clone the initial image so the reference interpreter and
+// the timing simulator run against identical state.
+func (m *Memory) Clone() *Memory {
+	nm := New()
+	for pn, p := range m.pages {
+		cp := *p
+		nm.pages[pn] = &cp
+	}
+	return nm
+}
+
+// Equal reports whether two memories hold identical contents. Unallocated
+// pages compare equal to all-zero pages.
+func (m *Memory) Equal(o *Memory) bool {
+	return m.subsetOf(o) && o.subsetOf(m)
+}
+
+func (m *Memory) subsetOf(o *Memory) bool {
+	for pn, p := range m.pages {
+		op := o.pages[pn]
+		if op == nil {
+			if *p != ([PageSize]byte{}) {
+				return false
+			}
+			continue
+		}
+		if *p != *op {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns the address of the first differing byte between m and o, and
+// whether any difference exists. It is a test/debug helper.
+func (m *Memory) Diff(o *Memory) (uint64, bool) {
+	if a, ok := m.diffIn(o); ok {
+		return a, true
+	}
+	return o.diffIn(m)
+}
+
+func (m *Memory) diffIn(o *Memory) (uint64, bool) {
+	for pn, p := range m.pages {
+		base := pn << pageShift
+		for i := range p {
+			if p[i] != o.GetByte(base+uint64(i)) {
+				return base + uint64(i), true
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,164 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroFill(t *testing.T) {
+	m := New()
+	if v := m.Load(0x1234, 8); v != 0 {
+		t.Errorf("unwritten memory = %#x, want 0", v)
+	}
+	if m.Pages() != 0 {
+		t.Errorf("reads allocated %d pages", m.Pages())
+	}
+}
+
+func TestStoreLoadSizes(t *testing.T) {
+	m := New()
+	m.Store(0x100, 8, 0x1122334455667788)
+	for _, c := range []struct {
+		size int
+		want uint64
+	}{{1, 0x88}, {2, 0x7788}, {4, 0x55667788}, {8, 0x1122334455667788}} {
+		if got := m.Load(0x100, c.size); got != c.want {
+			t.Errorf("load size %d = %#x, want %#x", c.size, got, c.want)
+		}
+	}
+}
+
+func TestPageStraddle(t *testing.T) {
+	m := New()
+	addr := uint64(PageSize - 3)
+	m.Store(addr, 8, 0xAABBCCDDEEFF0011)
+	if got := m.Load(addr, 8); got != 0xAABBCCDDEEFF0011 {
+		t.Errorf("straddling load = %#x", got)
+	}
+	if m.Pages() != 2 {
+		t.Errorf("straddle allocated %d pages, want 2", m.Pages())
+	}
+}
+
+func TestUnalignedFastPathBypass(t *testing.T) {
+	m := New()
+	m.Store(0x101, 8, 0x0123456789ABCDEF) // unaligned 8-byte
+	if got := m.Load(0x101, 8); got != 0x0123456789ABCDEF {
+		t.Errorf("unaligned round trip = %#x", got)
+	}
+	if got := m.Load(0x100, 1); got != 0 {
+		t.Errorf("neighbour byte = %#x, want 0", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := New()
+	m.Store(0x40, 8, 42)
+	c := m.Clone()
+	c.Store(0x40, 8, 99)
+	if m.Load(0x40, 8) != 42 {
+		t.Error("clone shares storage with original")
+	}
+	if c.Load(0x40, 8) != 99 {
+		t.Error("clone did not take the write")
+	}
+}
+
+func TestEqualAndDiff(t *testing.T) {
+	a, b := New(), New()
+	if !a.Equal(b) {
+		t.Error("empty memories unequal")
+	}
+	a.Store(0x1000, 8, 7)
+	if a.Equal(b) {
+		t.Error("differing memories compare equal")
+	}
+	if addr, diff := a.Diff(b); !diff || addr != 0x1000 {
+		t.Errorf("Diff = (%#x, %v), want (0x1000, true)", addr, diff)
+	}
+	b.Store(0x1000, 8, 7)
+	if !a.Equal(b) {
+		t.Error("identical memories unequal")
+	}
+	// A page of explicit zeroes equals an unallocated page.
+	a.Store(0x999000, 8, 0)
+	if !a.Equal(b) {
+		t.Error("explicit zero page breaks equality")
+	}
+}
+
+// Property: Store then Load round-trips at any address and size.
+func TestRoundTripQuick(t *testing.T) {
+	m := New()
+	f := func(addr, val uint64, sel uint8) bool {
+		size := []int{1, 2, 4, 8}[sel%4]
+		addr %= 1 << 44
+		m.Store(addr, size, val)
+		want := val
+		if size < 8 {
+			want &= (1 << (8 * size)) - 1
+		}
+		return m.Load(addr, size) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the paged memory behaves exactly like a flat map of bytes.
+func TestAgainstReferenceQuick(t *testing.T) {
+	type op struct {
+		Addr uint64
+		Val  uint64
+		Sel  uint8
+	}
+	f := func(ops []op) bool {
+		m := New()
+		ref := map[uint64]byte{}
+		for _, o := range ops {
+			size := []int{1, 2, 4, 8}[o.Sel%4]
+			addr := o.Addr % (1 << 20)
+			m.Store(addr, size, o.Val)
+			for i := 0; i < size; i++ {
+				ref[addr+uint64(i)] = byte(o.Val >> (8 * i))
+			}
+		}
+		for a, b := range ref {
+			if byte(m.Load(a, 1)) != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRand(1).Next() == NewRand(2).Next() {
+		t.Error("different seeds agree on first value")
+	}
+	z := NewRand(0)
+	if z.Next() == 0 && z.Next() == 0 {
+		t.Error("zero seed stuck at zero")
+	}
+}
+
+func TestRandRanges(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}

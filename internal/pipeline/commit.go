@@ -1,0 +1,178 @@
+package pipeline
+
+import (
+	"mtvp/internal/isa"
+	"mtvp/internal/trace"
+)
+
+// commit retires done instructions in order from each thread's ROB, oldest
+// thread first, within the shared commit bandwidth. This is the stage that
+// gives threaded value prediction its advantage: a spawned thread commits
+// past the stalled load (into its store buffer), while a single thread
+// would be blocked behind it.
+func (e *Engine) commit() {
+	budget := e.cfg.CommitWidth
+	for _, t := range e.liveByOrder() {
+		for budget > 0 {
+			if t.robHead >= len(t.rob) {
+				break
+			}
+			u := t.rob[t.robHead]
+			if u.state == stSquashed {
+				t.robHead++
+				continue
+			}
+			if u.state != stDone {
+				break
+			}
+			e.commitOne(t, u)
+			budget--
+			if e.finished {
+				return
+			}
+		}
+		t.compactROB()
+		if t.retiring && t.robEmpty() {
+			e.freeRetiring(t)
+		}
+	}
+}
+
+func (e *Engine) commitOne(t *thread, u *uop) {
+	u.state = stCommitted
+	t.robHead++
+	e.robUsed--
+	if u.usesRename {
+		e.renameUsed--
+	}
+	t.committed++
+	e.st.Committed++
+	e.lastProgress = e.now
+	if e.commitHook != nil {
+		e.commitHook(u)
+	}
+	e.emit(trace.KCommit, u)
+
+	op := u.ex.Inst.Op
+	switch {
+	case op.IsLoad():
+		// Commit-time value-predictor training, as in the paper — but
+		// only from the non-speculative lineage: speculative threads
+		// commit out of program order relative to each other (and may be
+		// wrong-path entirely), and letting them train garbles the value
+		// history and pattern tables.
+		if t.promoted {
+			e.vp.Train(e.prog.InstAddr(u.ex.PC), u.ex.Value)
+		}
+	case op.IsStore():
+		e.commitStore(t, u)
+	case op == isa.HALT:
+		if t.promoted {
+			e.finishAt(t)
+		} else {
+			t.haltCommitted = true
+		}
+	}
+}
+
+// commitStore retires a store: a non-speculative thread's store leaves the
+// buffer and writes the cache; a speculative thread's store stays buffered
+// (occupying its entry) until the thread is confirmed all the way up.
+func (e *Engine) commitStore(t *thread, u *uop) {
+	for i := range t.storeQ {
+		if t.storeQ[i].u == u {
+			if t.promoted {
+				e.hier.Store(t.storeQ[i].addr)
+				t.storeQ = append(t.storeQ[:i], t.storeQ[i+1:]...)
+				e.noteStoreFree(1)
+			} else {
+				t.storeQ[i].u = nil // data committed, entry retained
+			}
+			return
+		}
+	}
+}
+
+// freeRetiring releases a confirmed-away parent once its final commits have
+// drained, splicing its heir into its place in the thread lineage. The heir
+// is looked up in the confirmed event's child list at drain time: if the
+// original survivor has itself confirmed away in the meantime, the list
+// already names its replacement.
+func (e *Engine) freeRetiring(t *thread) {
+	var heir *thread
+	if t.confirmEvent != nil {
+		for _, c := range t.confirmEvent.children {
+			if c.live {
+				heir = c
+				break
+			}
+		}
+	}
+	t.retiring = false
+	t.live = false
+	e.slots[t.id] = nil
+	e.orderedDirty = true
+	t.overlay.Release()
+
+	if heir == nil {
+		// Every child of the confirmed event died with a mispredicted
+		// ancestor before the drain finished; nothing inherits.
+		return
+	}
+	heir.parent = t.parent
+	heir.spawn = t.spawn
+	heir.committed += t.committed
+	if t.spawn != nil {
+		for i, c := range t.spawn.children {
+			if c == t {
+				t.spawn.children[i] = heir
+			}
+		}
+	}
+	// Older buffered stores transfer to the heir so load forwarding and
+	// buffer occupancy stay correct.
+	if len(t.storeQ) > 0 {
+		heir.storeQ = append(append([]storeEntry(nil), t.storeQ...), heir.storeQ...)
+	}
+	e.promoteReady()
+}
+
+// promoteReady promotes every thread whose ancestry has become fully
+// non-speculative: its buffered committed stores drain to the cache and its
+// overlay chain is collapsed.
+func (e *Engine) promoteReady() {
+	for _, t := range e.liveByOrder() {
+		if t.promoted || t.isSpec() {
+			continue
+		}
+		t.promoted = true
+		e.emitThread(trace.KPromote, t, "non-speculative; store buffer drains")
+		kept := t.storeQ[:0]
+		for _, se := range t.storeQ {
+			if se.u == nil || se.u.state == stCommitted {
+				e.hier.Store(se.addr)
+				e.noteStoreFree(1)
+			} else {
+				kept = append(kept, se)
+			}
+		}
+		t.storeQ = kept
+		t.overlay.Collapse()
+		if t.haltCommitted {
+			e.finishAt(t)
+		}
+	}
+}
+
+// finishAt ends the simulation: a non-speculative thread committed HALT.
+// Outstanding speculative threads are wrong-path by definition (the program
+// is over) and are killed so final state checks see only committed work.
+func (e *Engine) finishAt(t *thread) {
+	e.finished = true
+	e.haltedThread = t
+	for _, o := range e.liveByOrder() {
+		if o != t && descendsFrom(o, t) {
+			e.killSubtree(o)
+		}
+	}
+}

@@ -1,0 +1,347 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"mtvp/internal/crit"
+	"mtvp/internal/trace"
+)
+
+// windowMinCycles is the minimum ILP-pred measurement window. Windows run
+// from prediction to at least this many cycles later even when the load
+// returns quickly, so the handoff costs and drain bursts around a spawn are
+// inside the measurement rather than after it.
+const windowMinCycles = 256
+
+// deferWindow schedules the event's forward-progress observation for when
+// its measurement window closes.
+func (e *Engine) deferWindow(ev *vpEvent) {
+	if e.now >= ev.startCycle+windowMinCycles {
+		e.observeWindow(ev)
+		return
+	}
+	e.pendingWindows = append(e.pendingWindows, ev)
+}
+
+// observeWindow reports one closed window to the selector. Forward progress
+// is measured in net useful committed instructions (the paper's
+// committed-count ILP-pred variant): issued counts would credit wrong-path
+// work from children that are about to be killed.
+func (e *Engine) observeWindow(ev *vpEvent) {
+	var progress uint64
+	if e.st.Committed > ev.startProgress {
+		progress = e.st.Committed - ev.startProgress
+	}
+	e.sel.Observe(ev.pc, ev.mode, progress, uint64(e.now-ev.startCycle))
+}
+
+// flushWindows observes every pending window whose minimum length has
+// elapsed.
+func (e *Engine) flushWindows() {
+	kept := e.pendingWindows[:0]
+	for _, ev := range e.pendingWindows {
+		if e.now >= ev.startCycle+windowMinCycles {
+			e.observeWindow(ev)
+		} else {
+			kept = append(kept, ev)
+		}
+	}
+	e.pendingWindows = kept
+}
+
+// complete retires finished executions: it marks results available,
+// releases branch-blocked fetch, and resolves value-prediction events when
+// the predicted load's real value returns from the memory system.
+func (e *Engine) complete() {
+	e.flushWindows()
+	for {
+		u, ok := e.completions.pop(e.now)
+		if !ok {
+			return
+		}
+		u.state = stDone
+		e.emit(trace.KComplete, u)
+		if u.mispredicted && u.thread.live && u.thread.blockedOn == u {
+			u.thread.blockedOn = nil
+			if u.thread.fetchBlocked < e.now+1 {
+				u.thread.fetchBlocked = e.now + 1
+			}
+		}
+		if u.vp != nil && !u.vp.resolved {
+			e.resolveEvent(u.vp)
+		}
+	}
+}
+
+// resolveEvent handles a value prediction whose load has returned: it
+// feeds the ILP-pred measurement window, verifies the prediction, and
+// confirms or kills speculative threads.
+func (e *Engine) resolveEvent(ev *vpEvent) {
+	ev.resolved = true
+	e.deferWindow(ev)
+	if ev.measureOnly {
+		return
+	}
+
+	switch ev.mode {
+	case crit.DecideSTVP:
+		t := ev.load.thread
+		t.unverifiedSTVP--
+		if ev.correct {
+			e.st.VPCorrect++
+			return
+		}
+		e.st.VPWrong++
+		e.noteWrongButPresent(ev)
+		e.selectiveReissue(ev.load)
+		// A thread spawned after this load forked register state that
+		// embedded the wrong value; it cannot be repaired by reissue
+		// (it may have committed dependents), so it dies and the parent
+		// re-executes its stream itself.
+		if sp := t.pendingSpawn; sp != nil && sp.load != nil && sp.load.seq > ev.load.seq {
+			e.abandonEvent(sp)
+			t.stallFetch = false
+			if t.fetchBlocked < e.now+1 {
+				t.fetchBlocked = e.now + 1
+			}
+		}
+
+	case crit.DecideMTVP:
+		t := ev.load.thread
+		t.pendingSpawn = nil
+
+		var survivor *thread
+		for i, c := range ev.children {
+			if ev.childVals[i] == ev.actual && c.live {
+				survivor = c
+				break
+			}
+		}
+		if ev.spawnOnly && len(ev.children) > 0 && ev.children[0].live {
+			survivor = ev.children[0]
+		}
+
+		if survivor == nil {
+			// Every followed value was wrong: kill the children and
+			// let the parent proceed past the load with the real value.
+			if !ev.spawnOnly {
+				e.st.VPWrong++
+				e.noteWrongButPresent(ev)
+			}
+			for _, c := range ev.children {
+				if c.live {
+					e.killSubtree(c)
+				}
+			}
+			t.stallFetch = false
+			if t.fetchBlocked < e.now+1 {
+				t.fetchBlocked = e.now + 1
+			}
+			return
+		}
+
+		if !ev.spawnOnly {
+			e.st.VPCorrect++
+			if survivor != ev.children[0] {
+				e.st.MultiValueSaves++
+			}
+		}
+		e.st.Confirms++
+		for _, c := range ev.children {
+			if c != survivor && c.live {
+				e.killSubtree(c)
+			}
+		}
+		// The parent drains its remaining commits (through the load)
+		// and then hands its place in the lineage to the survivor. Any
+		// redundant post-load work the parent did under the no-stall
+		// policy is squashed now.
+		e.emitThread(trace.KConfirm, survivor, fmt.Sprintf("prediction at pc %d confirmed; T%d/%d retiring",
+			ev.load.ex.PC, t.id, t.order))
+		e.squashYoungerThan(t, ev.load.seq)
+		t.retiring = true
+		t.stallFetch = false
+		// The survivor (or whatever live thread replaces it in the
+		// event's child list by drain time) inherits t's lineage slot.
+		t.confirmEvent = ev
+	}
+}
+
+// noteWrongButPresent implements the Figure 5 measurement: the primary
+// prediction was wrong, but the correct value was in the predictor and over
+// threshold as an alternate.
+func (e *Engine) noteWrongButPresent(ev *vpEvent) {
+	for _, alt := range ev.alternates {
+		if alt.Value == ev.actual {
+			e.st.VPWrongButPresent++
+			return
+		}
+	}
+}
+
+// selectiveReissue models single-threaded value-prediction recovery: every
+// instruction that (transitively) consumed the mispredicted load's value
+// re-executes once the real value is available. Instructions that never
+// issued are untouched — they will simply issue with the right value.
+func (e *Engine) selectiveReissue(load *uop) {
+	seen := map[*uop]bool{load: true}
+	work := append([]*uop(nil), load.consumers...)
+	for len(work) > 0 {
+		u := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seen[u] {
+			continue
+		}
+		seen[u] = true
+		switch u.state {
+		case stIssued, stDone:
+			// Consumed a (possibly) wrong value: squash the result
+			// and return to the queue.
+			u.state = stWaiting
+			u.issueGen++
+			e.qUsed[u.queue]++
+			u.thread.icount++
+			e.waiting[u.queue] = append(e.waiting[u.queue], u)
+			e.st.Reissues++
+			e.emit(trace.KReissue, u)
+			work = append(work, u.consumers...)
+		default:
+			// Waiting, fetched, or squashed: never executed with the
+			// wrong value; its consumers cannot have either.
+		}
+	}
+}
+
+// squashYoungerThan squashes every uop in t younger than seq (exclusive):
+// the redundant post-spawn stream of a confirmed parent under the no-stall
+// fetch policy. It also unwinds any value-prediction events those uops
+// carried.
+func (e *Engine) squashYoungerThan(t *thread, seq uint64) {
+	for i := len(t.rob) - 1; i >= t.robHead; i-- {
+		u := t.rob[i]
+		if u.seq <= seq {
+			break
+		}
+		e.squashUop(u)
+	}
+	// Drop squashed entries from the fetch buffer and store queue.
+	fb := t.fetchBuf[:0]
+	for _, u := range t.fetchBuf {
+		if u.state != stSquashed {
+			fb = append(fb, u)
+		}
+	}
+	t.fetchBuf = fb
+	sq := t.storeQ[:0]
+	for _, se := range t.storeQ {
+		if se.u == nil || se.u.state != stSquashed {
+			sq = append(sq, se)
+		} else {
+			e.noteStoreFree(1)
+		}
+	}
+	t.storeQ = sq
+}
+
+// squashUop removes one uop from the machine, releasing whatever resources
+// its state holds. Committed uops cannot be squashed here (thread kills
+// handle committed-work accounting separately).
+func (e *Engine) squashUop(u *uop) {
+	if u.state == stSquashed || u.state == stCommitted {
+		return
+	}
+	switch u.state {
+	case stFetched:
+		u.thread.icount--
+	case stWaiting:
+		u.thread.icount--
+		e.qUsed[u.queue]--
+		e.robUsed--
+		if u.usesRename {
+			e.renameUsed--
+		}
+	case stIssued, stDone:
+		e.robUsed--
+		if u.usesRename {
+			e.renameUsed--
+		}
+	}
+	u.state = stSquashed
+	u.issueGen++
+	e.st.Squashed++
+	e.emit(trace.KSquash, u)
+	if u.vp != nil && !u.vp.resolved {
+		e.abandonEvent(u.vp)
+	}
+}
+
+// abandonEvent resolves an event whose load was squashed: its children are
+// wrong-path threads of a wrong-path prediction and die with it.
+func (e *Engine) abandonEvent(ev *vpEvent) {
+	ev.resolved = true
+	if ev.load != nil {
+		t := ev.load.thread
+		switch ev.mode {
+		case crit.DecideSTVP:
+			t.unverifiedSTVP--
+		case crit.DecideMTVP:
+			if t.pendingSpawn == ev {
+				t.pendingSpawn = nil
+			}
+		}
+	}
+	for _, c := range ev.children {
+		if c.live {
+			e.killSubtree(c)
+		}
+	}
+}
+
+// killSubtree kills t and every live descendant of t.
+func (e *Engine) killSubtree(t *thread) {
+	for _, o := range e.liveByOrder() {
+		if o != t && descendsFrom(o, t) {
+			e.killOne(o)
+		}
+	}
+	e.killOne(t)
+}
+
+func descendsFrom(t, anc *thread) bool {
+	for cur := t.parent; cur != nil; cur = cur.parent {
+		if cur == anc {
+			return true
+		}
+	}
+	return false
+}
+
+// killOne destroys a single speculative thread: all of its in-flight work
+// is squashed, its committed instructions are discounted from useful IPC,
+// and its store-buffer overlay is released.
+func (e *Engine) killOne(t *thread) {
+	if !t.live {
+		return
+	}
+	for i := t.robHead; i < len(t.rob); i++ {
+		e.squashUop(t.rob[i])
+	}
+	if t.pendingSpawn != nil && !t.pendingSpawn.resolved {
+		// The spawn load may already have completed; make sure the
+		// event cannot fire later against a dead thread.
+		e.abandonEvent(t.pendingSpawn)
+	}
+	e.st.Squashed += t.committed
+	e.st.Committed -= t.committed
+	e.st.Kills++
+	e.emitThread(trace.KKill, t, fmt.Sprintf("committed %d discounted", t.committed))
+	t.live = false
+	t.killed = true
+	t.retiring = false
+	e.orderedDirty = true
+	e.noteStoreFree(len(t.storeQ))
+	t.fetchBuf = nil
+	t.storeQ = nil
+	t.overlay.Release()
+	e.slots[t.id] = nil
+}

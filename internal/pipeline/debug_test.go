@@ -1,0 +1,93 @@
+package pipeline
+
+import (
+	"sort"
+	"testing"
+
+	"mtvp/internal/isa"
+	"mtvp/internal/stats"
+	"mtvp/internal/workload"
+)
+
+// TestCommitStreamMatchesFunctional reconstructs the useful committed
+// instruction stream (all commits minus killed threads' work, ordered by
+// fetch sequence) and compares it PC-by-PC against the functional reference.
+func TestCommitStreamMatchesFunctional(t *testing.T) {
+	bench := workload.PointerChase("dbg-chase-fp", workload.FP, workload.ChaseParams{
+		Nodes: 256, NodeBytes: 64, PoolSize: 8, DominantPct: 85, ReusePct: 5, FPVal: true, Iters: 3,
+	})
+
+	refProg, refMem := bench.Build(7)
+	refCtx := isa.NewContext(refProg, refMem)
+	var refPCs []int64
+	for {
+		pc := refCtx.PC
+		if _, ok := refCtx.Step(); !ok {
+			break
+		}
+		refPCs = append(refPCs, pc)
+	}
+
+	cfg := mtvpOracleCfg(8)
+	cfg.MaxInsts = 50_000_000
+	cfg.MaxCycles = 200_000_000
+	prog, image := bench.Build(7)
+	st := &stats.Stats{}
+	eng, err := New(&cfg, prog, image, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type rec struct {
+		seq    uint64
+		pc     int64
+		thread *thread
+	}
+	var log []rec
+	eng.commitHook = func(u *uop) {
+		log = append(log, rec{seq: u.seq, pc: u.ex.PC, thread: u.thread})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Halted() {
+		t.Fatalf("did not halt: committed=%d cycles=%d", st.Committed, eng.Now())
+	}
+
+	// Useful stream: drop commits from killed threads, order by fetch
+	// sequence (a child commits concurrently with its stalled parent, so
+	// temporal commit order interleaves).
+	var got []rec
+	for _, r := range log {
+		if r.thread.killed {
+			continue
+		}
+		got = append(got, r)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].seq < got[j].seq })
+	for i := 1; i < len(got); i++ {
+		if got[i].seq == got[i-1].seq {
+			t.Fatalf("duplicate commit of seq %d (pc %d)", got[i].seq, got[i].pc)
+		}
+	}
+	if len(got) != len(refPCs) {
+		t.Errorf("useful commits %d, functional %d", len(got), len(refPCs))
+	}
+	n := len(got)
+	if len(refPCs) < n {
+		n = len(refPCs)
+	}
+	for i := 0; i < n; i++ {
+		if got[i].pc != refPCs[i] {
+			lo := i - 3
+			if lo < 0 {
+				lo = 0
+			}
+			for j := lo; j < i+5 && j < n; j++ {
+				t.Logf("  [%d] got pc=%d (seq %d, T%d ord %d) want pc=%d",
+					j, got[j].pc, got[j].seq, got[j].thread.id, got[j].thread.order, refPCs[j])
+			}
+			t.Fatalf("divergence at commit %d", i)
+		}
+	}
+}

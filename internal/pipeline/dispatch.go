@@ -1,0 +1,107 @@
+package pipeline
+
+import (
+	"mtvp/internal/crit"
+	"mtvp/internal/isa"
+	"mtvp/internal/trace"
+)
+
+// dispatch renames and inserts fetched uops into the issue queues and the
+// ROB, oldest thread first, until the cycle's bandwidth or a shared resource
+// (ROB entries, rename registers, queue slots, store-buffer entries) runs
+// out. Instructions become dispatchable FrontEndDepth cycles after fetch,
+// modelling the deep front end of the 30-stage pipe.
+func (e *Engine) dispatch() {
+	budget := e.cfg.CommitWidth
+	for _, t := range e.liveByOrder() {
+		if t.dispatchHold > e.now {
+			continue
+		}
+		for budget > 0 && len(t.fetchBuf) > 0 {
+			u := t.fetchBuf[0]
+			if u.state == stSquashed {
+				t.fetchBuf = t.fetchBuf[1:]
+				continue
+			}
+			if u.fetchCycle+int64(e.cfg.FrontEndDepth) > e.now {
+				break
+			}
+			if !e.tryDispatch(t, u) {
+				break
+			}
+			t.fetchBuf = t.fetchBuf[1:]
+			budget--
+		}
+	}
+}
+
+// tryDispatch allocates resources and dependence links for u. It returns
+// false when a structural resource is exhausted (the thread stalls).
+func (e *Engine) tryDispatch(t *thread, u *uop) bool {
+	if e.robUsed >= e.cfg.ROBSize {
+		return false
+	}
+	if e.qUsed[u.queue] >= e.qCap[u.queue] {
+		return false
+	}
+	u.usesRename = u.hasDest
+	if u.usesRename && e.renameUsed >= e.cfg.RenameRegs {
+		return false
+	}
+	isStore := u.ex.Inst.Op.IsStore()
+	if isStore && e.storeBufFull(t) {
+		return false
+	}
+
+	// Register dependences. The last-writer table may point at producers
+	// in ancestor threads (state copied at spawn).
+	var srcs [3]isa.Reg
+	for _, r := range u.ex.Inst.SrcRegs(srcs[:0]) {
+		w := t.lastWriter[r]
+		if w == nil || w.state == stCommitted || w.state == stSquashed {
+			continue
+		}
+		u.prods = append(u.prods, w)
+		w.consumers = append(w.consumers, u)
+	}
+
+	// Loads: find a forwarding store on the speculation chain, if any.
+	if u.ex.Inst.Op.IsLoad() {
+		if src, ok := t.forwardSource(u.seq, u.ex.Addr, u.ex.Inst.Op.MemSize()); ok {
+			u.fwdStore = true
+			if src != nil && src.state != stCommitted && src.state != stSquashed {
+				u.fwdFrom = src
+				src.consumers = append(src.consumers, u)
+			}
+		}
+	}
+
+	if u.hasDest {
+		t.lastWriter[u.ex.Inst.Rd] = u
+	}
+	if isStore {
+		t.storeQ = append(t.storeQ, storeEntry{
+			addr: u.ex.Addr,
+			size: u.ex.Inst.Op.MemSize(),
+			u:    u,
+		})
+		e.noteStoreAlloc()
+	}
+
+	// A followed single-thread prediction makes the load's destination
+	// speculatively available to consumers immediately.
+	if u.vp != nil && u.vp.mode == crit.DecideSTVP {
+		u.specReady = true
+	}
+
+	u.state = stWaiting
+	u.dispatchCycle = e.now
+	e.robUsed++
+	e.qUsed[u.queue]++
+	if u.usesRename {
+		e.renameUsed++
+	}
+	e.waiting[u.queue] = append(e.waiting[u.queue], u)
+	e.emit(trace.KDispatch, u)
+	return true
+}

@@ -1,0 +1,277 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+
+	"mtvp/internal/bpred"
+	"mtvp/internal/cache"
+	"mtvp/internal/config"
+	"mtvp/internal/crit"
+	"mtvp/internal/isa"
+	"mtvp/internal/mem"
+	"mtvp/internal/stats"
+	"mtvp/internal/storebuf"
+	"mtvp/internal/trace"
+	"mtvp/internal/vpred"
+)
+
+// Engine is the cycle-level SMT processor. One Engine simulates one program
+// (the paper studies single-threaded applications; all hardware contexts
+// beyond the first exist for speculation).
+type Engine struct {
+	cfg  *config.Config
+	prog *isa.Program
+	mem  *mem.Memory
+
+	hier *cache.Hierarchy
+	bp   bpred.Predictor
+	vp   vpred.Predictor
+	sel  crit.Selector
+	st   *stats.Stats
+
+	slots   []*thread // hardware contexts; nil = free
+	now     int64
+	seqCtr  uint64
+	ordCtr  int64
+	fbufCap int
+
+	robUsed         int
+	renameUsed      int
+	sharedStoreUsed int // occupancy of the unified tagged store buffer
+	qUsed           [numQueues]int
+	qCap            [numQueues]int
+	waiting         [numQueues][]*uop
+	completions     uopHeap
+
+	finished     bool
+	haltedThread *thread
+	lastProgress int64 // cycle of the last commit (watchdog)
+
+	// ordered caches liveByOrder between thread-set changes. A rebuild
+	// allocates a fresh slice so snapshots held by in-flight iterations
+	// stay valid.
+	ordered      []*thread
+	orderedDirty bool
+
+	// pendingWindows holds resolved value-prediction events whose ILP-pred
+	// measurement window is still open: windows have a minimum length so a
+	// short window cannot be dominated by the commit burst of a draining
+	// parent (which would credit the spawn with work it did not cause).
+	pendingWindows []*vpEvent
+
+	commitHook func(u *uop) // test instrumentation; nil in normal runs
+	tracer     trace.Tracer // optional event tracer; nil in normal runs
+}
+
+// SetTracer attaches an event tracer. Tracing is observational only.
+func (e *Engine) SetTracer(t trace.Tracer) { e.tracer = t }
+
+// emit sends an instruction-level event to the tracer, if attached.
+func (e *Engine) emit(k trace.Kind, u *uop) {
+	if e.tracer == nil {
+		return
+	}
+	e.tracer.Emit(trace.Event{
+		Cycle:  e.now,
+		Kind:   k,
+		Thread: u.thread.id,
+		Order:  u.thread.order,
+		Seq:    u.seq,
+		PC:     u.ex.PC,
+		Text:   u.ex.Inst.String(),
+	})
+}
+
+// emitThread sends a thread-level event to the tracer, if attached.
+func (e *Engine) emitThread(k trace.Kind, t *thread, text string) {
+	if e.tracer == nil {
+		return
+	}
+	e.tracer.Emit(trace.Event{
+		Cycle:  e.now,
+		Kind:   k,
+		Thread: t.id,
+		Order:  t.order,
+		PC:     -1,
+		Text:   text,
+	})
+}
+
+// New builds an engine for prog over memory under cfg. The memory should
+// already hold the workload's initialised data.
+func New(cfg *config.Config, prog *isa.Program, memory *mem.Memory, st *stats.Stats) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:     cfg,
+		prog:    prog,
+		mem:     memory,
+		hier:    cache.NewHierarchy(cfg, st),
+		bp:      bpred.New2bcgskew(cfg.Branch),
+		vp:      vpred.New(cfg),
+		sel:     crit.New(cfg),
+		st:      st,
+		slots:   make([]*thread, cfg.Contexts),
+		fbufCap: cfg.FetchWidth * cfg.FrontEndDepth,
+	}
+	e.qCap[qInt] = cfg.IQSize
+	e.qCap[qFP] = cfg.FQSize
+	e.qCap[qMem] = cfg.MQSize
+
+	root := &thread{
+		id:       0,
+		live:     true,
+		overlay:  storebuf.New(memory),
+		order:    e.ordCtr,
+		promoted: true,
+	}
+	root.ctx = isa.NewContext(prog, root.overlay)
+	e.ordCtr++
+	e.slots[0] = root
+	e.orderedDirty = true
+	return e, nil
+}
+
+// Stats returns the engine's counter set.
+func (e *Engine) Stats() *stats.Stats { return e.st }
+
+// Now returns the current cycle.
+func (e *Engine) Now() int64 { return e.now }
+
+// storeBufFull reports whether thread t may not allocate another store
+// buffer entry: per-context capacity by default, or the shared pool of the
+// unified tagged buffer (§3.3) when configured.
+func (e *Engine) storeBufFull(t *thread) bool {
+	if e.cfg.VP.SharedStoreBuf {
+		return e.sharedStoreUsed >= e.cfg.VP.SharedStoreBufEntries
+	}
+	return t.storeQFull(e.cfg.VP.StoreBufEntries)
+}
+
+func (e *Engine) noteStoreAlloc() {
+	if e.cfg.VP.SharedStoreBuf {
+		e.sharedStoreUsed++
+	}
+}
+
+func (e *Engine) noteStoreFree(n int) {
+	if e.cfg.VP.SharedStoreBuf {
+		e.sharedStoreUsed -= n
+		if e.sharedStoreUsed < 0 {
+			panic("pipeline: shared store buffer over-released")
+		}
+	}
+}
+
+// freeSlot returns the index of a free hardware context, or -1.
+func (e *Engine) freeSlot() int {
+	for i, t := range e.slots {
+		if t == nil {
+			return i
+		}
+	}
+	return -1
+}
+
+func (e *Engine) freeSlots() int {
+	n := 0
+	for _, t := range e.slots {
+		if t == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// liveByOrder returns the live threads oldest-first. The result must be
+// treated as read-only; it is cached until the thread set changes.
+func (e *Engine) liveByOrder() []*thread {
+	if !e.orderedDirty {
+		return e.ordered
+	}
+	ts := make([]*thread, 0, len(e.slots))
+	for _, t := range e.slots {
+		if t != nil && t.live {
+			ts = append(ts, t)
+		}
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].order < ts[j].order })
+	e.ordered = ts
+	e.orderedDirty = false
+	return ts
+}
+
+// Run simulates until the useful-instruction budget is exhausted, the
+// program halts, or the cycle cap is reached. It returns an error only for
+// internal deadlock (a bug), never for program behaviour.
+func (e *Engine) Run() error {
+	watchdog := int64(4*e.cfg.MemLatency) + 50_000
+	for !e.finished {
+		e.now++
+		e.commit()
+		e.complete()
+		e.issue()
+		e.dispatch()
+		e.fetch()
+
+		if e.st.Committed >= e.cfg.MaxInsts {
+			break
+		}
+		if uint64(e.now) >= e.cfg.MaxCycles {
+			break
+		}
+		if e.now-e.lastProgress > watchdog {
+			return fmt.Errorf("pipeline: no commit progress since cycle %d (now %d): %s",
+				e.lastProgress, e.now, e.describeStall())
+		}
+	}
+	e.st.Cycles = uint64(e.now)
+	return nil
+}
+
+// Finalize drains the surviving architectural thread's speculative store
+// state into flat memory so the image reflects committed execution. It is
+// meaningful after a run that ended at a HALT.
+func (e *Engine) Finalize() {
+	arch := e.archThread()
+	if arch != nil {
+		arch.overlay.DrainTo(e.mem)
+	}
+}
+
+// archThread returns the oldest live non-speculative thread.
+func (e *Engine) archThread() *thread {
+	for _, t := range e.liveByOrder() {
+		if !t.isSpec() {
+			return t
+		}
+	}
+	return nil
+}
+
+// ArchRegs returns the architectural register file of the surviving thread
+// (for equivalence tests) and whether one exists.
+func (e *Engine) ArchRegs() ([isa.NumRegs]uint64, bool) {
+	t := e.archThread()
+	if t == nil {
+		return [isa.NumRegs]uint64{}, false
+	}
+	return t.ctx.R, true
+}
+
+// Halted reports whether the program ran to completion (committed a HALT).
+func (e *Engine) Halted() bool { return e.haltedThread != nil }
+
+func (e *Engine) describeStall() string {
+	s := fmt.Sprintf("rob=%d/%d rename=%d/%d q=[%d %d %d]",
+		e.robUsed, e.cfg.ROBSize, e.renameUsed, e.cfg.RenameRegs,
+		e.qUsed[qInt], e.qUsed[qFP], e.qUsed[qMem])
+	for _, t := range e.liveByOrder() {
+		s += fmt.Sprintf(" T%d{ord=%d rob=%d fbuf=%d blocked=%d stall=%v retiring=%v spec=%v halted=%v pc=%d}",
+			t.id, t.order, t.robOccupied(), len(t.fetchBuf), t.fetchBlocked,
+			t.stallFetch, t.retiring, t.isSpec(), t.ctx.Halted, t.ctx.PC)
+	}
+	return s
+}

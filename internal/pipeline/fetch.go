@@ -1,0 +1,307 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"mtvp/internal/config"
+	"mtvp/internal/crit"
+	"mtvp/internal/isa"
+	"mtvp/internal/trace"
+)
+
+// fetch implements the ICOUNT.n.m front end: each cycle up to FetchBlocks
+// threads are selected by lowest in-flight count, and each fetches up to
+// FetchWidth/FetchBlocks instructions, stopping at taken branches,
+// mispredictions, value-prediction spawns (single fetch path), instruction
+// cache misses, and front-end capacity.
+func (e *Engine) fetch() {
+	perThread := e.cfg.FetchWidth / e.cfg.FetchBlocks
+	if perThread < 1 {
+		perThread = 1
+	}
+	picked := map[*thread]bool{}
+	for b := 0; b < e.cfg.FetchBlocks; b++ {
+		t := e.pickFetchThread(picked)
+		if t == nil {
+			e.st.FetchBlocked++
+			return
+		}
+		picked[t] = true
+		e.fetchFrom(t, perThread)
+	}
+}
+
+func (e *Engine) pickFetchThread(picked map[*thread]bool) *thread {
+	var best *thread
+	for _, t := range e.liveByOrder() {
+		if picked[t] || !e.canFetch(t) {
+			continue
+		}
+		if best == nil || t.icount < best.icount {
+			best = t
+		}
+	}
+	return best
+}
+
+func (e *Engine) canFetch(t *thread) bool {
+	return !t.retiring &&
+		!t.stallFetch &&
+		t.blockedOn == nil &&
+		t.fetchBlocked <= e.now &&
+		!t.ctx.Halted &&
+		len(t.fetchBuf) < e.fbufCap
+}
+
+func (e *Engine) fetchFrom(t *thread, max int) {
+	var lastLine uint64 = ^uint64(0)
+	for n := 0; n < max; n++ {
+		if !e.canFetch(t) {
+			return
+		}
+		in, ok := t.ctx.Peek()
+		if !ok {
+			return
+		}
+
+		// Instruction cache: one access per line touched.
+		line := e.prog.InstAddr(t.ctx.PC) &^ uint64(e.cfg.ICache.LineBytes-1)
+		if line != lastLine {
+			ready := e.hier.InstFetch(line, e.now)
+			if ready > e.now+int64(e.cfg.ICache.Latency) {
+				t.fetchBlocked = ready
+				return
+			}
+			lastLine = line
+		}
+
+		// Value prediction hook: decide before the load executes so a
+		// spawned thread can fork from the pre-load register state.
+		var ev *vpEvent
+		if in.Op.IsLoad() && e.cfg.VP.Mode != config.VPNone {
+			ev = e.vpDecide(t, in)
+		}
+
+		pc := t.ctx.PC
+		ex, ok := t.ctx.Step()
+		if !ok {
+			return
+		}
+		u := e.newUop(t, ex)
+		if ev != nil {
+			u.vp = ev
+			ev.load = u
+			if !ev.measureOnly {
+				e.emit(trace.KPredict, u)
+			}
+			if ev.mode == crit.DecideMTVP {
+				e.spawn(t, u, ev)
+			}
+		}
+
+		if in.Op.IsBranch() {
+			e.st.Branches++
+			iaddr := e.prog.InstAddr(pc)
+			pred := e.bp.Predict(iaddr)
+			e.bp.Update(iaddr, ex.Taken)
+			if pred != ex.Taken {
+				e.st.BranchWrong++
+				u.mispredicted = true
+				t.blockedOn = u
+				return
+			}
+			if ex.Taken {
+				return // taken branch ends this thread's fetch block
+			}
+		} else if in.Op.IsControl() {
+			switch in.Op {
+			case isa.JAL:
+				t.rasPush(pc + 1)
+			case isa.JR:
+				// Indirect jumps are predicted by the return-address
+				// stack; a wrong prediction blocks fetch until the
+				// jump resolves, like a branch mispredict.
+				e.st.Branches++
+				if t.rasPop() != ex.NextPC {
+					e.st.BranchWrong++
+					u.mispredicted = true
+					t.blockedOn = u
+					return
+				}
+			}
+			return // jumps redirect fetch; end the block
+		}
+	}
+}
+
+func (e *Engine) newUop(t *thread, ex isa.Exec) *uop {
+	e.seqCtr++
+	fetchCycle := e.now
+	if t.pipeWarm > 0 {
+		// Delivered from the parent's warm front end: dispatchable now.
+		fetchCycle = e.now - int64(e.cfg.FrontEndDepth)
+		t.pipeWarm--
+	}
+	u := &uop{
+		seq:        e.seqCtr,
+		thread:     t,
+		ex:         ex,
+		class:      ex.Inst.Op.Class(),
+		state:      stFetched,
+		fetchCycle: fetchCycle,
+		hasDest:    ex.Inst.HasDest(),
+	}
+	u.queue = queueFor(u.class)
+	t.rob = append(t.rob, u)
+	t.fetchBuf = append(t.fetchBuf, u)
+	t.icount++
+	e.st.Fetched++
+	e.emit(trace.KFetch, u)
+	return u
+}
+
+// vpDecide consults the value predictor and the criticality selector for
+// the load the thread is about to execute, returning the event to attach to
+// the load's uop (nil when nothing is predicted or measured).
+func (e *Engine) vpDecide(t *thread, in isa.Inst) *vpEvent {
+	addr := t.ctx.EffAddr(in)
+	actual := t.ctx.Mem.Load(addr, in.Op.MemSize())
+	pcAddr := e.prog.InstAddr(t.ctx.PC)
+
+	e.st.VPLookups++
+	pr := e.vp.Lookup(pcAddr, actual)
+	if !e.cfg.VP.SpawnOnly {
+		if !pr.Valid || !pr.Confident {
+			return nil
+		}
+		e.st.VPConfident++
+	}
+
+	mtvpOK := e.cfg.VP.Mode == config.VPMTVP &&
+		e.freeSlot() >= 0 &&
+		t.pendingSpawn == nil
+	level := e.hier.ProbeLevel(addr)
+	d := e.sel.Select(pcAddr, level, mtvpOK)
+
+	ev := &vpEvent{
+		pc:            pcAddr,
+		mode:          d,
+		predicted:     pr.Value,
+		actual:        actual,
+		correct:       pr.Value == actual,
+		alternates:    pr.Alternates,
+		startCycle:    e.now,
+		startProgress: e.st.Committed,
+	}
+	switch d {
+	case crit.DecideNone:
+		ev.measureOnly = true
+	case crit.DecideSTVP:
+		if e.cfg.VP.SpawnOnly {
+			return nil // the spawn-only machine never value-predicts
+		}
+		e.st.VPPredicted++
+		e.st.STVPUsed++
+		t.unverifiedSTVP++
+	case crit.DecideMTVP:
+		if e.cfg.VP.SpawnOnly {
+			ev.spawnOnly = true
+			ev.correct = true
+		} else {
+			e.st.VPPredicted++
+		}
+	}
+	return ev
+}
+
+// spawn creates the speculative thread(s) for an MTVP event. The parent's
+// functional context has not yet executed the load, so each child forks from
+// the pre-load register state with the load destination overwritten by its
+// predicted value (or left dependent on the real load in spawn-only mode).
+func (e *Engine) spawn(t *thread, loadU *uop, ev *vpEvent) {
+	in := loadU.ex.Inst
+	values := []uint64{ev.predicted}
+	if e.cfg.VP.MultiValue && !ev.spawnOnly {
+		for _, alt := range ev.alternates {
+			if len(values) >= e.cfg.VP.MaxValuesPerLoad || e.freeSlots() <= len(values) {
+				break
+			}
+			values = append(values, alt.Value)
+		}
+	}
+	if ev.spawnOnly {
+		values = []uint64{ev.actual}
+	}
+
+	// Fork the store-buffer overlay: the parent's current overlay is
+	// frozen and shared; parent and children each get a fresh top.
+	tops := t.overlay.Fork(1 + len(values))
+	t.overlay = tops[0]
+	t.ctx.Mem = tops[0]
+
+	for i, v := range values {
+		slot := e.freeSlot()
+		if slot < 0 {
+			// No context for a secondary value; drop it.
+			tops[1+i].Release()
+			continue
+		}
+		cctx := t.ctx.Fork(tops[1+i])
+		if !ev.spawnOnly {
+			cctx.SetReg(in.Rd, v)
+		}
+		cctx.PC = loadU.ex.PC + 1
+		cctx.Halted = false
+
+		e.ordCtr++
+		c := &thread{
+			id:           slot,
+			live:         true,
+			ctx:          cctx,
+			overlay:      tops[1+i],
+			parent:       t,
+			spawn:        ev,
+			order:        e.ordCtr,
+			fetchBlocked: e.now + 1,
+			dispatchHold: e.now + int64(e.cfg.VP.SpawnLatency),
+			lastWriter:   t.lastWriter,
+			ras:          t.ras,
+			rasSP:        t.rasSP,
+		}
+		if e.cfg.VP.FetchPolicy == config.FetchSFP && i == 0 {
+			// §3.3: with a single fetch path, the spawned thread starts
+			// at the next sequential PC and consumes instructions the
+			// front end already fetched — no fetch interruption.
+			c.pipeWarm = e.cfg.FrontEndDepth * (e.cfg.FetchWidth / e.cfg.FetchBlocks)
+		}
+		if ev.spawnOnly {
+			// Dependents of the load wait for the real value.
+			c.lastWriter[in.Rd] = loadU
+		} else {
+			// The predicted value is immediately available.
+			c.lastWriter[in.Rd] = nil
+		}
+		e.slots[slot] = c
+		e.orderedDirty = true
+		ev.children = append(ev.children, c)
+		ev.childVals = append(ev.childVals, v)
+	}
+
+	if len(ev.children) == 0 {
+		// Spawn failed outright (raced out of contexts): degrade to a
+		// plain measurement so resolution still happens cleanly.
+		ev.measureOnly = true
+		ev.mode = crit.DecideNone
+		e.st.SpawnDenied++
+		return
+	}
+	e.st.Spawns += uint64(len(ev.children))
+	for i, c := range ev.children {
+		e.emitThread(trace.KSpawn, c, fmt.Sprintf("from T%d/%d at pc %d value %#x",
+			t.id, t.order, loadU.ex.PC, ev.childVals[i]))
+	}
+	t.pendingSpawn = ev
+	if e.cfg.VP.FetchPolicy == config.FetchSFP {
+		t.stallFetch = true
+	}
+}

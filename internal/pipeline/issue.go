@@ -1,0 +1,127 @@
+package pipeline
+
+import (
+	"sort"
+
+	"mtvp/internal/isa"
+	"mtvp/internal/trace"
+)
+
+// issue selects ready instructions oldest-first across the shared queues,
+// subject to the total issue width and per-class limits (6 integer, 2 FP,
+// 4 load/store), and schedules their completions.
+func (e *Engine) issue() {
+	total := e.cfg.IssueWidth
+	intLeft, fpLeft, memLeft := e.cfg.IntIssue, e.cfg.FPIssue, e.cfg.MemIssue
+
+	var ready []*uop
+	for q := queueKind(0); q < numQueues; q++ {
+		e.compactQueue(q)
+		for _, u := range e.waiting[q] {
+			if u.state == stWaiting && e.uopReady(u) {
+				ready = append(ready, u)
+			}
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i].seq < ready[j].seq })
+
+	for _, u := range ready {
+		if total == 0 {
+			break
+		}
+		if u.state != stWaiting {
+			// A reissued uop can appear twice in the waiting lists (its
+			// pre-issue entry plus the reissue append); the first issue
+			// this cycle invalidates later duplicates.
+			continue
+		}
+		switch u.queue {
+		case qInt:
+			if intLeft == 0 {
+				continue
+			}
+			intLeft--
+		case qFP:
+			if fpLeft == 0 {
+				continue
+			}
+			fpLeft--
+		default:
+			if memLeft == 0 {
+				continue
+			}
+			memLeft--
+		}
+		total--
+		e.issueOne(u)
+	}
+}
+
+// uopReady reports whether all of u's producers have results (or offer
+// speculative ones) and any forwarding store has executed.
+func (e *Engine) uopReady(u *uop) bool {
+	for _, p := range u.prods {
+		if !producerReady(p) {
+			return false
+		}
+	}
+	if u.fwdFrom != nil && !producerReady(u.fwdFrom) {
+		return false
+	}
+	return true
+}
+
+func (e *Engine) issueOne(u *uop) {
+	u.state = stIssued
+	u.issueGen++
+	u.thread.icount--
+	e.qUsed[u.queue]--
+	e.st.Issued++
+
+	done := e.now + e.latencyOf(u)
+	u.doneCycle = done
+	e.completions.schedule(u, done)
+	e.emit(trace.KIssue, u)
+}
+
+// latencyOf computes the execution latency of u, performing the cache
+// access for loads (this is where the prefetcher trains, in issue order).
+func (e *Engine) latencyOf(u *uop) int64 {
+	cfg := e.cfg
+	switch u.class {
+	case isa.ClassLoad:
+		if u.fwdStore {
+			e.st.StoreBufHits++
+			return int64(cfg.DL1.Latency)
+		}
+		pcAddr := e.prog.InstAddr(u.ex.PC)
+		ready, lvl := e.hier.Load(pcAddr, u.ex.Addr, e.now)
+		u.hitLevel = lvl
+		return ready - e.now
+	case isa.ClassStore:
+		return 1
+	case isa.ClassIntMul:
+		return int64(cfg.LatIntMul)
+	case isa.ClassIntDiv:
+		return int64(cfg.LatIntDiv)
+	case isa.ClassFPAdd:
+		return int64(cfg.LatFPAdd)
+	case isa.ClassFPMul:
+		return int64(cfg.LatFPMul)
+	case isa.ClassFPDiv:
+		return int64(cfg.LatFPDiv)
+	default:
+		return int64(cfg.LatIntALU)
+	}
+}
+
+// compactQueue drops issued and squashed uops from a waiting list.
+func (e *Engine) compactQueue(q queueKind) {
+	w := e.waiting[q][:0]
+	for _, u := range e.waiting[q] {
+		if u.state == stWaiting {
+			w = append(w, u)
+		}
+	}
+	e.waiting[q] = w
+}

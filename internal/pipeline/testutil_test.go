@@ -1,0 +1,36 @@
+package pipeline
+
+import (
+	"testing"
+
+	"mtvp/internal/config"
+	"mtvp/internal/isa"
+	"mtvp/internal/mem"
+	"mtvp/internal/stats"
+)
+
+// mtvpOracleCfg is the §5.1 limit-study machine used by the pipeline's own
+// white-box tests.
+func mtvpOracleCfg(contexts int) config.Config {
+	cfg := config.Baseline().WithMTVP(contexts, config.PredOracle, config.SelILPPred)
+	cfg.VP.SpawnLatency = 1
+	cfg.VP.StoreBufEntries = 0
+	return cfg
+}
+
+// runStats builds and runs an engine, returning its stats.
+func runStats(t *testing.T, cfg *config.Config, prog *isa.Program, image *mem.Memory) *stats.Stats {
+	t.Helper()
+	st := &stats.Stats{}
+	eng, err := New(cfg, prog, image, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// newStats returns a fresh counter set for hand-driven engine tests.
+func newStats() *stats.Stats { return &stats.Stats{} }

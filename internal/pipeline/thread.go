@@ -1,0 +1,180 @@
+package pipeline
+
+import (
+	"mtvp/internal/crit"
+	"mtvp/internal/isa"
+	"mtvp/internal/storebuf"
+	"mtvp/internal/vpred"
+)
+
+// storeEntry tracks one store's occupancy in a thread's store buffer for
+// timing-level forwarding and capacity stalls.
+type storeEntry struct {
+	addr uint64
+	size int
+	u    *uop // nil once the store has committed (data definitely ready)
+}
+
+// vpEvent is one followed (or measured) value prediction: the load, the mode
+// chosen, the spawned children if any, and the measurement window ILP-pred
+// consumes. Events resolve when the load's real value returns from memory.
+type vpEvent struct {
+	pc         uint64
+	mode       crit.Decision
+	load       *uop
+	predicted  uint64
+	actual     uint64
+	correct    bool
+	spawnOnly  bool
+	alternates []vpred.Candidate // alternate confident values at predict time
+	children   []*thread         // spawned threads (MTVP), primary first
+
+	childVals []uint64 // value each child is following, parallel to children
+
+	resolved      bool
+	startCycle    int64
+	startProgress uint64 // net useful commits at prediction time (ILP-pred window)
+	measureOnly   bool   // DecideNone calibration window: nothing speculated
+}
+
+// thread is one hardware context.
+type thread struct {
+	id   int // hardware context slot
+	live bool
+
+	ctx     *isa.Context
+	overlay *storebuf.Overlay
+
+	parent *thread
+	spawn  *vpEvent // event that created this thread (nil for the root)
+	order  int64    // global speculation order; larger = younger
+
+	// Reorder buffer: this thread's uops in fetch order. head indexes the
+	// oldest un-committed entry; the slice is compacted periodically.
+	rob     []*uop
+	robHead int
+
+	// Front end.
+	fetchBuf     []*uop // fetched, not yet dispatched
+	fetchBlocked int64  // no fetch until this cycle
+	blockedOn    *uop   // mispredicted branch gating fetch (nil = time gate)
+	stallFetch   bool   // SFP: stalled after spawning, until resolution
+	retiring     bool   // confirmed-away parent draining its final commits
+	icount       int    // uops in front end + queues (ICOUNT fetch policy)
+	// pipeWarm models the paper's single-fetch-path handoff: the spawn
+	// happens at the rename stage, so the front end's already-fetched
+	// post-load instructions are delivered to the child with no bubble.
+	// While pipeWarm > 0, fetched uops dispatch without front-end delay.
+	pipeWarm int
+	// dispatchHold delays the child's first dispatch by the spawn latency
+	// (the rename-map copy / copy-on-write setup of §5.2).
+	dispatchHold int64
+
+	// Per-architectural-register last writer, for dependence tracking.
+	lastWriter [isa.NumRegs]*uop
+
+	// Return-address stack for predicting JR targets. Per-context state,
+	// copied on spawn like the register map.
+	ras   [rasDepth]int64
+	rasSP int
+
+	// Store buffer (timing view).
+	storeQ []storeEntry
+
+	// Value prediction bookkeeping.
+	pendingSpawn   *vpEvent // this thread's unresolved MTVP spawn (max one)
+	unverifiedSTVP int      // in-flight single-thread predictions
+	confirmEvent   *vpEvent // confirmed spawn whose surviving child replaces this thread after drain
+	promoted       bool     // has become non-speculative (store buffer drains at commit)
+	haltCommitted  bool     // committed a HALT while still speculative
+
+	committed uint64 // instructions committed since spawn (squashable)
+	killed    bool   // destroyed on a misprediction (its commits were discounted)
+}
+
+// isSpec reports whether the thread's existence still depends on an
+// unresolved value prediction somewhere in its ancestry.
+func (t *thread) isSpec() bool {
+	for cur := t; cur != nil; cur = cur.parent {
+		if cur.spawn != nil && !cur.spawn.resolved {
+			return true
+		}
+	}
+	return false
+}
+
+// robEmpty reports whether every fetched uop has committed or been squashed.
+func (t *thread) robEmpty() bool {
+	return t.robHead >= len(t.rob) && len(t.fetchBuf) == 0
+}
+
+// robOccupied returns the number of live, uncommitted uops.
+func (t *thread) robOccupied() int { return len(t.rob) - t.robHead }
+
+// compactROB drops committed prefix entries once they dominate the slice.
+func (t *thread) compactROB() {
+	if t.robHead > 256 && t.robHead > len(t.rob)/2 {
+		n := copy(t.rob, t.rob[t.robHead:])
+		t.rob = t.rob[:n]
+		t.robHead = 0
+	}
+}
+
+// storeQFull reports whether the thread's store buffer is at capacity.
+func (t *thread) storeQFull(capacity int) bool {
+	return capacity > 0 && len(t.storeQ) >= capacity
+}
+
+// forwardSource finds the newest store visible to a load on this thread's
+// speculation chain that overlaps [addr, addr+size). It searches the
+// thread's own in-flight stores (newest first), then its store buffer, then
+// ancestors — exactly the paper's "store buffer must be searched by every
+// load" rule extended over the thread list.
+func (t *thread) forwardSource(loadSeq uint64, addr uint64, size int) (*uop, bool) {
+	for cur := t; cur != nil; cur = cur.parent {
+		// In-flight stores, newest first, older than the load.
+		for i := len(cur.rob) - 1; i >= cur.robHead; i-- {
+			s := cur.rob[i]
+			if s.seq >= loadSeq || !s.ex.Inst.Op.IsStore() || s.state == stSquashed {
+				continue
+			}
+			if overlaps(s.ex.Addr, s.ex.Inst.Op.MemSize(), addr, size) {
+				return s, true
+			}
+		}
+		// Buffered committed stores, newest first.
+		for i := len(cur.storeQ) - 1; i >= 0; i-- {
+			se := cur.storeQ[i]
+			if se.u != nil && se.u.seq >= loadSeq {
+				continue
+			}
+			if overlaps(se.addr, se.size, addr, size) {
+				return se.u, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// rasDepth is the return-address stack depth.
+const rasDepth = 16
+
+// rasPush records a call's return address.
+func (t *thread) rasPush(ret int64) {
+	t.ras[t.rasSP%rasDepth] = ret
+	t.rasSP++
+}
+
+// rasPop predicts a return target; an empty stack predicts -1 (always
+// wrong, charging the mispredict penalty).
+func (t *thread) rasPop() int64 {
+	if t.rasSP == 0 {
+		return -1
+	}
+	t.rasSP--
+	return t.ras[t.rasSP%rasDepth]
+}
+
+func overlaps(a uint64, an int, b uint64, bn int) bool {
+	return a < b+uint64(bn) && b < a+uint64(an)
+}

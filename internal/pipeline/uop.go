@@ -1,0 +1,142 @@
+// Package pipeline implements the execution-driven, cycle-level SMT
+// out-of-order processor the paper evaluates on, including the threaded
+// value prediction machinery itself: spawn, confirm, and kill of
+// speculative hardware threads, single-fetch-path and no-stall fetch
+// policies, selective reissue for single-threaded value prediction, and
+// speculative store buffering via overlay chains.
+//
+// The functional layer is execute-at-fetch: every instruction is
+// interpreted in its thread's architectural context the moment it is
+// fetched, and the timing layer then models when its result becomes
+// visible. Value-predicted spawns fork the functional context with the
+// predicted value substituted, so a wrong prediction genuinely sends the
+// child thread down a divergent data path until it is killed.
+package pipeline
+
+import (
+	"container/heap"
+
+	"mtvp/internal/cache"
+	"mtvp/internal/isa"
+)
+
+type uopState uint8
+
+const (
+	stFetched uopState = iota // in the front-end pipe
+	stWaiting                 // dispatched into an issue queue
+	stIssued                  // executing
+	stDone                    // result available
+	stCommitted
+	stSquashed
+)
+
+type queueKind uint8
+
+const (
+	qInt queueKind = iota
+	qFP
+	qMem
+	numQueues
+)
+
+func queueFor(c isa.Class) queueKind {
+	switch c {
+	case isa.ClassFPAdd, isa.ClassFPMul, isa.ClassFPDiv:
+		return qFP
+	case isa.ClassLoad, isa.ClassStore:
+		return qMem
+	default:
+		return qInt
+	}
+}
+
+// uop is one in-flight instruction.
+type uop struct {
+	seq    uint64
+	thread *thread
+	ex     isa.Exec
+	class  isa.Class
+	queue  queueKind
+
+	state    uopState
+	issueGen uint32 // invalidates stale completion-heap entries
+
+	fetchCycle    int64
+	dispatchCycle int64
+	doneCycle     int64
+
+	pendingSrcs int
+	prods       []*uop // producers this uop waited on (for reissue)
+	consumers   []*uop // uops that depend on this one's result
+
+	// Memory.
+	fwdFrom  *uop // store this load forwards from (nil = cache access)
+	fwdStore bool // load forwards from a store buffer / queue entry
+	hitLevel cache.HitLevel
+
+	// Branch.
+	mispredicted bool
+
+	// Value prediction.
+	vp        *vpEvent // non-nil if this load drives a VP event or window
+	specReady bool     // STVP: dest usable by consumers before the load returns
+
+	hasDest    bool
+	usesRename bool
+}
+
+// producerReady reports whether a producer no longer blocks its consumers:
+// it has a result (done or committed), offers a speculative value (STVP),
+// or was squashed (its consumers' functional values were already captured
+// at fetch, so timing must not deadlock on it).
+func producerReady(p *uop) bool {
+	switch p.state {
+	case stDone, stCommitted, stSquashed:
+		return true
+	}
+	return p.specReady
+}
+
+// uopHeap orders pending completions by doneCycle.
+type uopHeap struct {
+	items []heapItem
+}
+
+type heapItem struct {
+	cycle int64
+	gen   uint32
+	u     *uop
+}
+
+func (h *uopHeap) Len() int           { return len(h.items) }
+func (h *uopHeap) Less(i, j int) bool { return h.items[i].cycle < h.items[j].cycle }
+func (h *uopHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *uopHeap) Push(x interface{}) { h.items = append(h.items, x.(heapItem)) }
+func (h *uopHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+func (h *uopHeap) schedule(u *uop, cycle int64) {
+	heap.Push(h, heapItem{cycle: cycle, gen: u.issueGen, u: u})
+}
+
+// pop returns the next uop whose completion is due at or before now,
+// skipping entries invalidated by squash or reissue.
+func (h *uopHeap) pop(now int64) (*uop, bool) {
+	for h.Len() > 0 {
+		top := h.items[0]
+		if top.cycle > now {
+			return nil, false
+		}
+		heap.Pop(h)
+		if top.u.state == stIssued && top.u.issueGen == top.gen {
+			return top.u, true
+		}
+	}
+	return nil, false
+}

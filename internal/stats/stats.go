@@ -1,0 +1,199 @@
+// Package stats collects the counters the simulator reports and provides
+// the derived metrics the paper's figures use: useful IPC, percent speedup,
+// and geometric means over benchmark groups.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Stats accumulates event counts for one simulation run. "Useful" committed
+// instructions are those committed by threads that ultimately survive —
+// instructions squashed with a killed speculative thread never count.
+type Stats struct {
+	Cycles    uint64
+	Fetched   uint64
+	Issued    uint64
+	Committed uint64 // useful committed instructions
+	Squashed  uint64 // instructions discarded by kills or mispredicts
+
+	// Branch prediction.
+	Branches     uint64
+	BranchWrong  uint64
+	FetchBlocked uint64 // cycles no thread could fetch
+
+	// Memory system.
+	Loads        uint64
+	Stores       uint64
+	DL1Miss      uint64
+	L2Miss       uint64
+	L3Miss       uint64
+	PrefIssued   uint64 // prefetches launched
+	PrefHits     uint64 // demand hits in stream buffers
+	StoreBufHits uint64 // loads forwarded from a store buffer
+
+	// Value prediction.
+	VPLookups   uint64 // predictor consulted
+	VPConfident uint64 // predictor was over threshold
+	VPPredicted uint64 // a prediction was followed (STVP or MTVP)
+	VPCorrect   uint64
+	VPWrong     uint64
+	// Multi-value potential (Figure 5): followed predictions whose primary
+	// value was wrong but the correct value was present and over threshold.
+	VPWrongButPresent uint64
+
+	// Threading.
+	Spawns          uint64 // speculative threads created
+	Confirms        uint64 // predictions confirmed (child survives)
+	Kills           uint64 // children killed on misprediction
+	SpawnDenied     uint64 // spawn wanted but no context free
+	STVPUsed        uint64 // single-thread predictions made (incl. fallback)
+	Reissues        uint64 // instructions re-executed by selective reissue
+	MultiValueSaves uint64 // events where a non-primary value was the right one
+}
+
+// UsefulIPC returns committed useful instructions per cycle.
+func (s *Stats) UsefulIPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// BranchAccuracy returns the fraction of branches predicted correctly.
+func (s *Stats) BranchAccuracy() float64 {
+	if s.Branches == 0 {
+		return 1
+	}
+	return 1 - float64(s.BranchWrong)/float64(s.Branches)
+}
+
+// VPAccuracy returns the fraction of followed predictions that were correct.
+func (s *Stats) VPAccuracy() float64 {
+	n := s.VPCorrect + s.VPWrong
+	if n == 0 {
+		return 0
+	}
+	return float64(s.VPCorrect) / float64(n)
+}
+
+// String summarises the run.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles=%d committed=%d ipc=%.4f", s.Cycles, s.Committed, s.UsefulIPC())
+	fmt.Fprintf(&b, " brAcc=%.3f", s.BranchAccuracy())
+	fmt.Fprintf(&b, " loads=%d dl1m=%d l2m=%d l3m=%d", s.Loads, s.DL1Miss, s.L2Miss, s.L3Miss)
+	if s.VPPredicted > 0 {
+		fmt.Fprintf(&b, " vp=%d vpAcc=%.3f spawns=%d confirms=%d kills=%d",
+			s.VPPredicted, s.VPAccuracy(), s.Spawns, s.Confirms, s.Kills)
+	}
+	return b.String()
+}
+
+// SpeedupPct returns the percent speedup of ipc over base, the metric of
+// Figures 1–4 and 6 ("Percent Speedup" in useful IPC).
+func SpeedupPct(base, ipc float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (ipc/base - 1) * 100
+}
+
+// GeoMeanSpeedupPct combines per-benchmark percent speedups the way the
+// paper reports averages: the geometric mean of the IPC ratios, expressed
+// as a percent gain. Ratios must be > 0 (i.e., speedups > −100%).
+func GeoMeanSpeedupPct(pcts []float64) float64 {
+	if len(pcts) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range pcts {
+		r := 1 + p/100
+		if r <= 0 {
+			r = 1e-6
+		}
+		sum += math.Log(r)
+	}
+	return (math.Exp(sum/float64(len(pcts))) - 1) * 100
+}
+
+// Row is one line of a result table: a benchmark and one value per column.
+type Row struct {
+	Name   string
+	Values []float64
+}
+
+// Table formats experiment results the way the figure harness prints them.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    []Row
+}
+
+// Add appends a row.
+func (t *Table) Add(name string, values ...float64) {
+	t.Rows = append(t.Rows, Row{Name: name, Values: values})
+}
+
+// AddGeoMean appends an "average" row holding the geometric-mean percent
+// speedup of each column across the existing rows.
+func (t *Table) AddGeoMean(label string) {
+	if len(t.Rows) == 0 {
+		return
+	}
+	n := len(t.Rows[0].Values)
+	avg := make([]float64, n)
+	for c := 0; c < n; c++ {
+		col := make([]float64, 0, len(t.Rows))
+		for _, r := range t.Rows {
+			if c < len(r.Values) {
+				col = append(col, r.Values[c])
+			}
+		}
+		avg[c] = GeoMeanSpeedupPct(col)
+	}
+	t.Add(label, avg...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	nameW := 12
+	for _, r := range t.Rows {
+		if len(r.Name) > nameW {
+			nameW = len(r.Name)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", nameW+2, "benchmark")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%14s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", nameW+2, r.Name)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, "%14.2f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SortRows orders rows by name, keeping any row whose name starts with
+// "average" last. Deterministic output for goldens and logs.
+func (t *Table) SortRows() {
+	sort.SliceStable(t.Rows, func(i, j int) bool {
+		ai := strings.HasPrefix(t.Rows[i].Name, "average")
+		aj := strings.HasPrefix(t.Rows[j].Name, "average")
+		if ai != aj {
+			return aj
+		}
+		return t.Rows[i].Name < t.Rows[j].Name
+	})
+}

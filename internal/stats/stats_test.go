@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestUsefulIPC(t *testing.T) {
+	s := &Stats{Committed: 500, Cycles: 1000}
+	if got := s.UsefulIPC(); got != 0.5 {
+		t.Errorf("IPC = %v", got)
+	}
+	if (&Stats{}).UsefulIPC() != 0 {
+		t.Error("zero-cycle IPC not zero")
+	}
+}
+
+func TestAccuracies(t *testing.T) {
+	s := &Stats{Branches: 100, BranchWrong: 10, VPCorrect: 30, VPWrong: 10}
+	if got := s.BranchAccuracy(); got != 0.9 {
+		t.Errorf("branch accuracy %v", got)
+	}
+	if got := s.VPAccuracy(); got != 0.75 {
+		t.Errorf("VP accuracy %v", got)
+	}
+	empty := &Stats{}
+	if empty.BranchAccuracy() != 1 || empty.VPAccuracy() != 0 {
+		t.Error("empty-stat accuracies wrong")
+	}
+}
+
+func TestSpeedupPct(t *testing.T) {
+	if got := SpeedupPct(1.0, 1.4); math.Abs(got-40) > 1e-9 {
+		t.Errorf("speedup %v, want 40", got)
+	}
+	if got := SpeedupPct(2.0, 1.0); math.Abs(got+50) > 1e-9 {
+		t.Errorf("slowdown %v, want -50", got)
+	}
+	if SpeedupPct(0, 5) != 0 {
+		t.Error("zero baseline not handled")
+	}
+}
+
+func TestGeoMeanSpeedup(t *testing.T) {
+	// Geomean of +100% and -50% (ratios 2.0 and 0.5) is exactly 0%.
+	got := GeoMeanSpeedupPct([]float64{100, -50})
+	if math.Abs(got) > 1e-9 {
+		t.Errorf("geomean = %v, want 0", got)
+	}
+	if GeoMeanSpeedupPct(nil) != 0 {
+		t.Error("empty geomean not zero")
+	}
+	// A -100% entry must not blow up.
+	if v := GeoMeanSpeedupPct([]float64{-100, 100}); math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Errorf("degenerate geomean = %v", v)
+	}
+}
+
+// Property: the geometric mean lies between min and max of the inputs.
+func TestGeoMeanBoundsQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		pcts := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			pcts[i] = float64(r%400) - 90 // -90% .. +309%
+			lo = math.Min(lo, pcts[i])
+			hi = math.Max(hi, pcts[i])
+		}
+		g := GeoMeanSpeedupPct(pcts)
+		return g >= lo-1e-6 && g <= hi+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{Title: "demo", Columns: []string{"a", "b"}}
+	tab.Add("bench1", 10, 20)
+	tab.Add("bench2", 30, 40)
+	tab.AddGeoMean("average")
+	out := tab.String()
+	for _, want := range []string{"demo", "bench1", "bench2", "average", "a", "b"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	avg := tab.Rows[2]
+	want := GeoMeanSpeedupPct([]float64{10, 30})
+	if math.Abs(avg.Values[0]-want) > 1e-9 {
+		t.Errorf("geomean row col0 = %v, want %v", avg.Values[0], want)
+	}
+}
+
+func TestSortRowsKeepsAverageLast(t *testing.T) {
+	tab := &Table{Columns: []string{"x"}}
+	tab.Add("zeta", 1)
+	tab.Add("average", 2)
+	tab.Add("alpha", 3)
+	tab.SortRows()
+	if tab.Rows[0].Name != "alpha" || tab.Rows[2].Name != "average" {
+		t.Errorf("sort order: %v %v %v",
+			tab.Rows[0].Name, tab.Rows[1].Name, tab.Rows[2].Name)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := &Stats{Cycles: 100, Committed: 50, VPPredicted: 10, VPCorrect: 8, VPWrong: 2}
+	out := s.String()
+	for _, want := range []string{"ipc=0.5", "vpAcc=0.800"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats string missing %q: %s", want, out)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package storebuf implements the speculative store buffering that makes
+// threaded value prediction possible: a spawned thread may commit
+// instructions, but its stores must stay buffered — invisible to older
+// threads, visible to itself and its descendants — until its value
+// prediction is confirmed.
+//
+// The functional mechanism is a copy-on-write overlay chain. Each hardware
+// context executes against its own mutable Overlay; spawning a thread
+// freezes the parent's overlay and gives both parent and child fresh
+// overlays chained to it. A load walks its chain (newest overlay first) down
+// to flat memory, which is exactly the paper's "searched by every load ...
+// used in preference to the value stored in memory" semantics, generalised
+// to the thread tree.
+//
+// Timing-level capacity (the 128-entry store buffer of §5.3) is accounted
+// separately by the pipeline; overlays carry functional state only.
+package storebuf
+
+import "mtvp/internal/isa"
+
+// Overlay is one speculative store buffer: a byte-granular write log over a
+// parent memory view. It implements isa.MemAccess.
+type Overlay struct {
+	parent isa.MemAccess
+	data   map[uint64]byte
+	frozen bool
+	refs   int
+	stores uint64
+}
+
+// New returns a mutable overlay whose reads fall through to parent. If the
+// parent is itself an *Overlay its reference count is incremented.
+func New(parent isa.MemAccess) *Overlay {
+	if p, ok := parent.(*Overlay); ok {
+		p.refs++
+	}
+	return &Overlay{parent: parent, data: make(map[uint64]byte), refs: 1}
+}
+
+// Parent returns the memory view this overlay falls through to.
+func (o *Overlay) Parent() isa.MemAccess { return o.parent }
+
+// Frozen reports whether the overlay has been sealed by a fork.
+func (o *Overlay) Frozen() bool { return o.frozen }
+
+// Refs returns the number of live referents (owning context plus child
+// overlays).
+func (o *Overlay) Refs() int { return o.refs }
+
+// Stores returns the number of Store calls applied to this overlay.
+func (o *Overlay) Stores() uint64 { return o.stores }
+
+// Bytes returns the number of distinct bytes written.
+func (o *Overlay) Bytes() int { return len(o.data) }
+
+// Load reads size bytes little-endian, taking each byte from the newest
+// overlay in the chain that has written it.
+func (o *Overlay) Load(addr uint64, size int) uint64 {
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(o.loadByte(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+func (o *Overlay) loadByte(addr uint64) byte {
+	for cur := o; ; {
+		if b, ok := cur.data[addr]; ok {
+			return b
+		}
+		p, ok := cur.parent.(*Overlay)
+		if !ok {
+			return byte(cur.parent.Load(addr, 1))
+		}
+		cur = p
+	}
+}
+
+// Store writes the low size bytes of val. Storing to a frozen overlay is a
+// bug in the thread-management logic and panics.
+func (o *Overlay) Store(addr uint64, size int, val uint64) {
+	if o.frozen {
+		panic("storebuf: store to frozen overlay")
+	}
+	for i := 0; i < size; i++ {
+		o.data[addr+uint64(i)] = byte(val >> (8 * i))
+	}
+	o.stores++
+}
+
+// Covered reports how much of [addr, addr+size) the overlay chain (excluding
+// flat memory) supplies: full means every byte, any means at least one.
+func (o *Overlay) Covered(addr uint64, size int) (full, any bool) {
+	full = true
+	for i := 0; i < size; i++ {
+		if o.coveredByte(addr + uint64(i)) {
+			any = true
+		} else {
+			full = false
+		}
+	}
+	return full, any
+}
+
+func (o *Overlay) coveredByte(addr uint64) bool {
+	for cur := o; ; {
+		if _, ok := cur.data[addr]; ok {
+			return true
+		}
+		p, ok := cur.parent.(*Overlay)
+		if !ok {
+			return false
+		}
+		cur = p
+	}
+}
+
+// Fork seals the overlay and returns n fresh overlays chained to it: one for
+// the continuing parent thread and one per spawned child. The receiver keeps
+// one reference per returned overlay (the caller's own reference is
+// released — contexts move to the new tops).
+func (o *Overlay) Fork(n int) []*Overlay {
+	o.frozen = true
+	o.refs-- // the forking context abandons its direct reference
+	tops := make([]*Overlay, n)
+	for i := range tops {
+		tops[i] = New(o)
+	}
+	return tops
+}
+
+// Release drops one reference. When the last reference to an overlay is
+// dropped (a killed speculative path), its parent's reference is dropped in
+// turn, unwinding the dead branch of the thread tree.
+func (o *Overlay) Release() {
+	o.refs--
+	if o.refs < 0 {
+		panic("storebuf: overlay over-released")
+	}
+	if o.refs == 0 {
+		if p, ok := o.parent.(*Overlay); ok {
+			p.Release()
+		}
+	}
+}
+
+// Collapse absorbs frozen, singly-referenced ancestors into this overlay.
+// After a prediction resolves and the losing path is released, the fork-point
+// overlay has one referent left; folding it upward keeps load chains short.
+// The owning context's view is unchanged.
+func (o *Overlay) Collapse() {
+	for {
+		p, ok := o.parent.(*Overlay)
+		if !ok || !p.frozen || p.refs != 1 {
+			return
+		}
+		for a, b := range p.data {
+			if _, shadowed := o.data[a]; !shadowed {
+				o.data[a] = b
+			}
+		}
+		o.parent = p.parent // p's reference to its parent transfers to o
+		p.refs = 0
+	}
+}
+
+// DrainTo writes the overlay chain's contents into dst, oldest overlay
+// first, and empties the chain. It is used when the surviving thread's
+// speculative state becomes architectural at the end of a run.
+func (o *Overlay) DrainTo(dst isa.MemAccess) {
+	var chain []*Overlay
+	for cur := o; ; {
+		chain = append(chain, cur)
+		p, ok := cur.parent.(*Overlay)
+		if !ok {
+			break
+		}
+		cur = p
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		for a, b := range chain[i].data {
+			dst.Store(a, 1, uint64(b))
+		}
+		chain[i].data = make(map[uint64]byte)
+	}
+}
+
+var _ isa.MemAccess = (*Overlay)(nil)

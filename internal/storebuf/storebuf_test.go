@@ -1,0 +1,226 @@
+package storebuf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mtvp/internal/mem"
+)
+
+func TestOverlayShadowsParent(t *testing.T) {
+	m := mem.New()
+	m.Store(0x100, 8, 1)
+	o := New(m)
+	if got := o.Load(0x100, 8); got != 1 {
+		t.Errorf("fall-through read = %d, want 1", got)
+	}
+	o.Store(0x100, 8, 2)
+	if got := o.Load(0x100, 8); got != 2 {
+		t.Errorf("shadowed read = %d, want 2", got)
+	}
+	if got := m.Load(0x100, 8); got != 1 {
+		t.Errorf("overlay leaked to memory: %d", got)
+	}
+}
+
+func TestByteGranularMerge(t *testing.T) {
+	m := mem.New()
+	m.Store(0x200, 8, 0xAAAAAAAAAAAAAAAA)
+	o := New(m)
+	o.Store(0x200, 1, 0xBB) // overwrite only the low byte
+	if got := o.Load(0x200, 8); got != 0xAAAAAAAAAAAAAABB {
+		t.Errorf("merged read = %#x", got)
+	}
+}
+
+func TestForkSemantics(t *testing.T) {
+	m := mem.New()
+	root := New(m)
+	root.Store(0x10, 8, 1)
+
+	tops := root.Fork(2)
+	parent, child := tops[0], tops[1]
+	if !root.Frozen() {
+		t.Error("fork did not freeze the forked overlay")
+	}
+
+	parent.Store(0x10, 8, 2) // parent's post-fork write
+	child.Store(0x18, 8, 3)  // child's write
+
+	if got := child.Load(0x10, 8); got != 1 {
+		t.Errorf("child sees parent's post-fork write: %d", got)
+	}
+	if got := parent.Load(0x18, 8); got != 0 {
+		t.Errorf("parent sees child's write: %d", got)
+	}
+	if got := child.Load(0x18, 8); got != 3 {
+		t.Errorf("child lost its own write: %d", got)
+	}
+}
+
+func TestStoreToFrozenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("store to frozen overlay did not panic")
+		}
+	}()
+	o := New(mem.New())
+	o.Fork(1)
+	o.Store(0, 1, 1)
+}
+
+func TestReleaseUnwindsChain(t *testing.T) {
+	m := mem.New()
+	root := New(m)
+	tops := root.Fork(2)
+	if root.Refs() != 2 {
+		t.Fatalf("fork refs = %d, want 2", root.Refs())
+	}
+	tops[1].Release() // kill the child path
+	if root.Refs() != 1 {
+		t.Errorf("after child release, refs = %d, want 1", root.Refs())
+	}
+	tops[0].Release()
+	if root.Refs() != 0 {
+		t.Errorf("after both releases, refs = %d, want 0", root.Refs())
+	}
+}
+
+func TestCollapseFoldsSingleRefAncestors(t *testing.T) {
+	m := mem.New()
+	root := New(m)
+	root.Store(0x10, 8, 1)
+	root.Store(0x20, 8, 2)
+	tops := root.Fork(2)
+	survivor, dead := tops[0], tops[1]
+	survivor.Store(0x10, 8, 9) // shadows root's value
+
+	dead.Release()
+	survivor.Collapse()
+	if survivor.Parent() != m {
+		t.Fatal("collapse did not splice out the frozen ancestor")
+	}
+	if got := survivor.Load(0x10, 8); got != 9 {
+		t.Errorf("shadowed value lost: %d", got)
+	}
+	if got := survivor.Load(0x20, 8); got != 2 {
+		t.Errorf("ancestor value lost: %d", got)
+	}
+}
+
+func TestCollapseStopsAtSharedAncestor(t *testing.T) {
+	m := mem.New()
+	root := New(m)
+	tops := root.Fork(2) // both referents alive
+	tops[0].Collapse()
+	if tops[0].Parent() != root {
+		t.Error("collapse folded an ancestor that another path still uses")
+	}
+}
+
+func TestDrainTo(t *testing.T) {
+	m := mem.New()
+	m.Store(0x8, 8, 7)
+	root := New(m)
+	root.Store(0x10, 8, 1)
+	tops := root.Fork(2)
+	tops[1].Release()
+	top := tops[0]
+	top.Store(0x10, 8, 2) // newer write must win the drain
+	top.Store(0x18, 8, 3)
+
+	top.DrainTo(m)
+	if got := m.Load(0x10, 8); got != 2 {
+		t.Errorf("drained value = %d, want 2 (newest wins)", got)
+	}
+	if got := m.Load(0x18, 8); got != 3 {
+		t.Errorf("drained value = %d, want 3", got)
+	}
+	if got := m.Load(0x8, 8); got != 7 {
+		t.Errorf("untouched value clobbered: %d", got)
+	}
+}
+
+func TestCovered(t *testing.T) {
+	o := New(mem.New())
+	o.Store(0x100, 4, 0xFFFFFFFF)
+	if full, any := o.Covered(0x100, 4); !full || !any {
+		t.Errorf("exact range: full=%v any=%v", full, any)
+	}
+	if full, any := o.Covered(0x100, 8); full || !any {
+		t.Errorf("partial range: full=%v any=%v", full, any)
+	}
+	if full, any := o.Covered(0x200, 8); full || any {
+		t.Errorf("uncovered range: full=%v any=%v", full, any)
+	}
+}
+
+// Property: a chain of overlays with interleaved stores reads back exactly
+// like sequential execution against flat memory, and DrainTo reproduces the
+// flat image. This is invariant 2 of DESIGN.md.
+func TestChainEquivalenceQuick(t *testing.T) {
+	type op struct {
+		Addr uint64
+		Val  uint64
+		Sel  uint8
+		Fork bool
+	}
+	f := func(ops []op) bool {
+		flat := mem.New() // reference: all stores applied in order
+		backing := mem.New()
+		top := New(backing) // overlay chain, forked at Fork ops
+		for _, o := range ops {
+			if o.Fork {
+				tops := top.Fork(2)
+				tops[1].Release() // simulate the dead sibling path
+				top = tops[0]
+			}
+			size := []int{1, 2, 4, 8}[o.Sel%4]
+			addr := o.Addr % 4096
+			flat.Store(addr, size, o.Val)
+			top.Store(addr, size, o.Val)
+		}
+		for a := uint64(0); a < 4096; a += 8 {
+			if top.Load(a, 8) != flat.Load(a, 8) {
+				return false
+			}
+		}
+		top.DrainTo(backing)
+		return backing.Equal(flat)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after any fork tree with one surviving leaf, Collapse preserves
+// every readable byte.
+func TestCollapsePreservesQuick(t *testing.T) {
+	f := func(vals []uint64) bool {
+		m := mem.New()
+		top := New(m)
+		for i, v := range vals {
+			addr := uint64(i%64) * 8
+			top.Store(addr, 8, v)
+			if i%3 == 0 {
+				tops := top.Fork(2)
+				tops[1].Release()
+				top = tops[0]
+			}
+		}
+		before := map[uint64]uint64{}
+		for a := uint64(0); a < 64*8; a += 8 {
+			before[a] = top.Load(a, 8)
+		}
+		top.Collapse()
+		for a, v := range before {
+			if top.Load(a, 8) != v {
+				return false
+			}
+		}
+		return top.Parent() == m // fully folded
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,130 @@
+// Package trace provides cycle-level event tracing for the simulator: the
+// pipeline emits structured events (fetch, issue, commit, spawn, confirm,
+// kill, ...) to a Tracer, and Writer renders them as a human-readable log.
+// Tracing is strictly observational — an attached tracer must never change
+// simulation results.
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// Kind identifies a pipeline event.
+type Kind uint8
+
+// Pipeline event kinds.
+const (
+	KFetch Kind = iota
+	KDispatch
+	KIssue
+	KComplete
+	KCommit
+	KSquash
+	KReissue
+	KPredict
+	KSpawn
+	KConfirm
+	KKill
+	KPromote
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KFetch: "fetch", KDispatch: "disp", KIssue: "issue", KComplete: "done",
+	KCommit: "commit", KSquash: "squash", KReissue: "reissue",
+	KPredict: "predict", KSpawn: "spawn", KConfirm: "confirm",
+	KKill: "kill", KPromote: "promote",
+}
+
+// String returns the event kind's short name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "event?"
+}
+
+// Event is one pipeline occurrence.
+type Event struct {
+	Cycle  int64
+	Kind   Kind
+	Thread int    // hardware context id
+	Order  int64  // thread speculation order
+	Seq    uint64 // instruction sequence number (0 for thread events)
+	PC     int64  // instruction index (-1 for thread events)
+	Text   string // disassembly or event detail
+}
+
+// Tracer receives pipeline events.
+type Tracer interface {
+	Emit(Event)
+}
+
+// Writer renders events to an io.Writer, optionally bounded to a maximum
+// event count and filtered by kind.
+type Writer struct {
+	W      io.Writer
+	Max    uint64 // 0 = unlimited
+	Kinds  []Kind // nil = all kinds
+	count  uint64
+	filter [numKinds]bool
+	init   bool
+}
+
+// NewWriter returns a Writer emitting every event to w.
+func NewWriter(w io.Writer) *Writer { return &Writer{W: w} }
+
+// Emit implements Tracer.
+func (t *Writer) Emit(ev Event) {
+	if !t.init {
+		if t.Kinds == nil {
+			for i := range t.filter {
+				t.filter[i] = true
+			}
+		} else {
+			for _, k := range t.Kinds {
+				if int(k) < len(t.filter) {
+					t.filter[k] = true
+				}
+			}
+		}
+		t.init = true
+	}
+	if int(ev.Kind) >= len(t.filter) || !t.filter[ev.Kind] {
+		return
+	}
+	if t.Max > 0 && t.count >= t.Max {
+		return
+	}
+	t.count++
+	if ev.Seq != 0 {
+		fmt.Fprintf(t.W, "%8d %-8s T%d/%d #%-6d @%-5d %s\n",
+			ev.Cycle, ev.Kind, ev.Thread, ev.Order, ev.Seq, ev.PC, ev.Text)
+	} else {
+		fmt.Fprintf(t.W, "%8d %-8s T%d/%d %s\n",
+			ev.Cycle, ev.Kind, ev.Thread, ev.Order, ev.Text)
+	}
+}
+
+// Count returns how many events were written.
+func (t *Writer) Count() uint64 { return t.count }
+
+// Collector buffers events in memory (for tests).
+type Collector struct {
+	Events []Event
+}
+
+// Emit implements Tracer.
+func (c *Collector) Emit(ev Event) { c.Events = append(c.Events, ev) }
+
+// ByKind returns the collected events of one kind.
+func (c *Collector) ByKind(k Kind) []Event {
+	var out []Event
+	for _, ev := range c.Events {
+		if ev.Kind == k {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriterFormatsEvents(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Emit(Event{Cycle: 12, Kind: KCommit, Thread: 1, Order: 3, Seq: 99, PC: 7, Text: "add r1, r2, r3"})
+	w.Emit(Event{Cycle: 13, Kind: KSpawn, Thread: 2, Order: 4, PC: -1, Text: "from T1/3"})
+	out := buf.String()
+	for _, want := range []string{"commit", "T1/3", "#99", "@7", "add r1, r2, r3", "spawn", "T2/4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+	if w.Count() != 2 {
+		t.Errorf("count = %d", w.Count())
+	}
+}
+
+func TestWriterMaxBound(t *testing.T) {
+	var buf bytes.Buffer
+	w := &Writer{W: &buf, Max: 3}
+	for i := 0; i < 10; i++ {
+		w.Emit(Event{Kind: KFetch, Seq: uint64(i + 1)})
+	}
+	if w.Count() != 3 {
+		t.Errorf("bounded writer wrote %d events", w.Count())
+	}
+}
+
+func TestWriterKindFilter(t *testing.T) {
+	var buf bytes.Buffer
+	w := &Writer{W: &buf, Kinds: []Kind{KSpawn, KKill}}
+	w.Emit(Event{Kind: KFetch, Seq: 1})
+	w.Emit(Event{Kind: KSpawn})
+	w.Emit(Event{Kind: KCommit, Seq: 2})
+	w.Emit(Event{Kind: KKill})
+	if w.Count() != 2 {
+		t.Errorf("filtered writer wrote %d events, want 2", w.Count())
+	}
+	if strings.Contains(buf.String(), "fetch") {
+		t.Error("filtered kind leaked through")
+	}
+}
+
+func TestCollector(t *testing.T) {
+	c := &Collector{}
+	c.Emit(Event{Kind: KSpawn})
+	c.Emit(Event{Kind: KCommit})
+	c.Emit(Event{Kind: KSpawn})
+	if len(c.ByKind(KSpawn)) != 2 || len(c.ByKind(KKill)) != 0 {
+		t.Errorf("collector filtering wrong: %d spawns", len(c.ByKind(KSpawn)))
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == "" || k.String() == "event?" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}

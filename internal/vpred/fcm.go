@@ -1,0 +1,95 @@
+package vpred
+
+import "mtvp/internal/config"
+
+// FCM is an order-N finite context method predictor (Sazeides & Smith): the
+// level-1 table, indexed by PC, keeps a hash of the last N values; the
+// level-2 table, indexed by that hash, keeps the value that followed the
+// context last time, with a confidence counter. Unlike DFCM it predicts
+// values directly rather than strides, so it captures repeating value
+// sequences but not unseen stride continuations.
+type FCM struct {
+	p  config.DFCMParams // same sizing knobs as DFCM
+	l1 []fcmL1
+	l2 []fcmL2
+}
+
+type fcmL1 struct {
+	pc     uint64
+	hist   []uint64 // most recent first
+	warmed int
+	valid  bool
+}
+
+type fcmL2 struct {
+	value uint64
+	conf  int
+}
+
+// NewFCM builds an order-p.Order FCM predictor.
+func NewFCM(p config.DFCMParams) *FCM {
+	return &FCM{
+		p:  p,
+		l1: make([]fcmL1, p.L1Entries),
+		l2: make([]fcmL2, p.L2Entries),
+	}
+}
+
+func (f *FCM) l1Entry(pc uint64) *fcmL1 {
+	return &f.l1[pc%uint64(len(f.l1))]
+}
+
+// index folds the value history with Burtscher's select-fold-shift scheme.
+func (f *FCM) index(e *fcmL1) uint64 {
+	var h uint64
+	for i, v := range e.hist {
+		x := v ^ (v >> 16) ^ (v >> 32) ^ (v >> 48)
+		h ^= (x & 0xffff) >> uint(i*2) << uint(i*5)
+	}
+	h ^= e.pc << 3
+	return h % uint64(len(f.l2))
+}
+
+// Lookup implements Predictor. The actual value is ignored.
+func (f *FCM) Lookup(pc, _ uint64) Prediction {
+	e := f.l1Entry(pc)
+	if !e.valid || e.pc != pc || e.warmed < f.p.Order {
+		return Prediction{}
+	}
+	l2 := &f.l2[f.index(e)]
+	return Prediction{
+		Valid:     true,
+		Value:     l2.value,
+		Conf:      l2.conf,
+		Confident: l2.conf >= f.p.Threshold,
+	}
+}
+
+// Train implements Predictor.
+func (f *FCM) Train(pc, actual uint64) {
+	e := f.l1Entry(pc)
+	if !e.valid || e.pc != pc {
+		*e = fcmL1{pc: pc, hist: make([]uint64, f.p.Order), valid: true}
+	}
+	if e.warmed >= f.p.Order {
+		l2 := &f.l2[f.index(e)]
+		if l2.value == actual {
+			if l2.conf < f.p.ConfMax {
+				l2.conf += f.p.ConfInc
+			}
+		} else {
+			l2.conf -= f.p.ConfDec
+			if l2.conf <= 0 {
+				l2.value = actual
+				l2.conf = 1
+			}
+		}
+	}
+	copy(e.hist[1:], e.hist)
+	e.hist[0] = actual
+	if e.warmed < f.p.Order {
+		e.warmed++
+	}
+}
+
+var _ Predictor = (*FCM)(nil)

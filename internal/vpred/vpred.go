@@ -1,0 +1,202 @@
+// Package vpred implements the load value predictors the paper evaluates:
+// an oracle (limit study, §5.1), the hybrid Wang–Franklin predictor used for
+// the realistic results (§5.4), an order-3 differential FCM predictor with
+// Burtscher's improved index function, and simple last-value and stride
+// predictors used as components and baselines.
+package vpred
+
+import "mtvp/internal/config"
+
+// Candidate is one predicted value with its confidence.
+type Candidate struct {
+	Value uint64
+	Conf  int
+}
+
+// Prediction is the outcome of a predictor lookup. Alternates lists other
+// over-threshold candidate values (distinct from Value) for multiple-value
+// multithreaded value prediction (§5.6).
+type Prediction struct {
+	Valid      bool // the predictor has history for this PC
+	Value      uint64
+	Conf       int
+	Confident  bool
+	Alternates []Candidate
+}
+
+// Predictor predicts the values load instructions will return.
+//
+// Lookup receives the load's actual value as well as its PC: only the
+// oracle predictor uses it (the paper's limit study needs an always-correct
+// predictor), and realistic predictors must ignore it. Train is called when
+// the load's value resolves, in program order per thread, and performs
+// value learning and confidence updates.
+type Predictor interface {
+	Lookup(pc, actual uint64) Prediction
+	Train(pc, actual uint64)
+}
+
+// New builds the predictor selected by the configuration.
+func New(cfg *config.Config) Predictor {
+	switch cfg.VP.Predictor {
+	case config.PredOracle:
+		return Oracle{}
+	case config.PredWangFranklin:
+		return NewWangFranklin(cfg.VP.WF, cfg.VP.LiberalThreshold)
+	case config.PredDFCM:
+		return NewDFCM(cfg.VP.DFCM)
+	case config.PredFCM:
+		return NewFCM(cfg.VP.DFCM)
+	case config.PredLastValue:
+		return NewLastValue(4096, 12, 32)
+	case config.PredStride:
+		return NewStride(4096, 12, 32)
+	default:
+		return Oracle{}
+	}
+}
+
+// Oracle always predicts the correct value with maximum confidence. It is
+// the predictor of the §5.1 limit study.
+type Oracle struct{}
+
+// Lookup returns the actual value with full confidence.
+func (Oracle) Lookup(_, actual uint64) Prediction {
+	return Prediction{Valid: true, Value: actual, Conf: 1 << 20, Confident: true}
+}
+
+// Train is a no-op.
+func (Oracle) Train(_, _ uint64) {}
+
+// LastValue predicts that a load returns the same value as last time.
+type LastValue struct {
+	entries   []lvEntry
+	threshold int
+	confMax   int
+}
+
+type lvEntry struct {
+	pc    uint64
+	value uint64
+	conf  int
+	valid bool
+}
+
+// NewLastValue returns a last-value predictor with the given table size and
+// confidence parameters.
+func NewLastValue(entries, threshold, confMax int) *LastValue {
+	return &LastValue{
+		entries:   make([]lvEntry, entries),
+		threshold: threshold,
+		confMax:   confMax,
+	}
+}
+
+func (p *LastValue) entry(pc uint64) *lvEntry {
+	return &p.entries[pc%uint64(len(p.entries))]
+}
+
+// Lookup implements Predictor.
+func (p *LastValue) Lookup(pc, _ uint64) Prediction {
+	e := p.entry(pc)
+	if !e.valid || e.pc != pc {
+		return Prediction{}
+	}
+	return Prediction{
+		Valid:     true,
+		Value:     e.value,
+		Conf:      e.conf,
+		Confident: e.conf >= p.threshold,
+	}
+}
+
+// Train implements Predictor.
+func (p *LastValue) Train(pc, actual uint64) {
+	e := p.entry(pc)
+	if !e.valid || e.pc != pc {
+		*e = lvEntry{pc: pc, value: actual, conf: 1, valid: true}
+		return
+	}
+	if e.value == actual {
+		if e.conf < p.confMax {
+			e.conf++
+		}
+		return
+	}
+	e.conf -= 8
+	if e.conf < 0 {
+		e.conf = 0
+	}
+	e.value = actual
+}
+
+// Stride predicts last value plus the last observed stride.
+type Stride struct {
+	entries   []strideEntry
+	threshold int
+	confMax   int
+}
+
+type strideEntry struct {
+	pc     uint64
+	last   uint64
+	stride int64
+	conf   int
+	valid  bool
+}
+
+// NewStride returns a stride predictor with the given table size and
+// confidence parameters.
+func NewStride(entries, threshold, confMax int) *Stride {
+	return &Stride{
+		entries:   make([]strideEntry, entries),
+		threshold: threshold,
+		confMax:   confMax,
+	}
+}
+
+func (p *Stride) entry(pc uint64) *strideEntry {
+	return &p.entries[pc%uint64(len(p.entries))]
+}
+
+// Lookup implements Predictor.
+func (p *Stride) Lookup(pc, _ uint64) Prediction {
+	e := p.entry(pc)
+	if !e.valid || e.pc != pc {
+		return Prediction{}
+	}
+	return Prediction{
+		Valid:     true,
+		Value:     uint64(int64(e.last) + e.stride),
+		Conf:      e.conf,
+		Confident: e.conf >= p.threshold,
+	}
+}
+
+// Train implements Predictor.
+func (p *Stride) Train(pc, actual uint64) {
+	e := p.entry(pc)
+	if !e.valid || e.pc != pc {
+		*e = strideEntry{pc: pc, last: actual, valid: true}
+		return
+	}
+	stride := int64(actual) - int64(e.last)
+	if stride == e.stride {
+		if e.conf < p.confMax {
+			e.conf++
+		}
+	} else {
+		e.conf -= 8
+		if e.conf < 0 {
+			e.conf = 0
+		}
+		e.stride = stride
+	}
+	e.last = actual
+}
+
+var (
+	_ Predictor = Oracle{}
+	_ Predictor = (*LastValue)(nil)
+	_ Predictor = (*Stride)(nil)
+)

@@ -1,0 +1,208 @@
+package vpred
+
+import "mtvp/internal/config"
+
+// Slot identifiers inside one Wang–Franklin VHT entry. The paper's
+// configuration uses five learned values, hardwired zero and one, and a
+// stride value — eight candidates, so a slot id fits in three bits of the
+// pattern history.
+const (
+	wfSlotZero   = 5
+	wfSlotOne    = 6
+	wfSlotStride = 7
+	wfSlots      = 8
+	wfSlotBits   = 3
+	wfSlotNone   = 0 // history code reused when nothing matched (learned 0 is replaced)
+)
+
+type wfVHTEntry struct {
+	pc     uint64
+	values [5]uint64 // learned values (LearnedValues <= 5)
+	last   uint64    // last value, for the stride component
+	stride int64
+	hist   uint64 // pattern history: HistLen slot ids, 3 bits each
+	valid  bool
+}
+
+type wfPHTEntry struct {
+	conf [wfSlots]int16
+}
+
+// WangFranklin is the hybrid value predictor of §5.4: a PC-indexed value
+// history table (VHT) holding five learned values, hardwired zero and one,
+// and a stride; and a pattern-indexed value pattern history table (ValPHT)
+// holding a saturating confidence per candidate slot. Confidence moves +1
+// on correct predictions and −8 on incorrect ones, saturating at 32, with a
+// prediction threshold of 12.
+type WangFranklin struct {
+	p       config.WangFranklinParams
+	liberal int // secondary threshold for multi-value mode (0 = p.Threshold)
+	vht     []wfVHTEntry
+	pht     []wfPHTEntry
+	histMsk uint64
+}
+
+// NewWangFranklin builds the predictor. liberalThreshold, when nonzero,
+// is the (lower) confidence bar applied to alternate values reported for
+// multiple-value prediction.
+func NewWangFranklin(p config.WangFranklinParams, liberalThreshold int) *WangFranklin {
+	if p.LearnedValues > 5 {
+		p.LearnedValues = 5
+	}
+	return &WangFranklin{
+		p:       p,
+		liberal: liberalThreshold,
+		vht:     make([]wfVHTEntry, p.VHTEntries),
+		pht:     make([]wfPHTEntry, p.ValPHTEntries),
+		histMsk: (1 << uint(p.HistLen*wfSlotBits)) - 1,
+	}
+}
+
+func (w *WangFranklin) vhtEntry(pc uint64) *wfVHTEntry {
+	return &w.vht[pc%uint64(len(w.vht))]
+}
+
+func (w *WangFranklin) phtIndex(pc, hist uint64) uint64 {
+	// Mix the pattern history with PC bits so different loads sharing a
+	// pattern do not fully alias.
+	h := hist ^ (pc << 7) ^ (pc >> 3)
+	return h % uint64(len(w.pht))
+}
+
+// slotValue returns the candidate value slot s proposes.
+func (w *WangFranklin) slotValue(e *wfVHTEntry, s int) uint64 {
+	switch s {
+	case wfSlotZero:
+		return 0
+	case wfSlotOne:
+		return 1
+	case wfSlotStride:
+		return uint64(int64(e.last) + e.stride)
+	default:
+		return e.values[s]
+	}
+}
+
+func (w *WangFranklin) activeSlots() int {
+	return w.p.LearnedValues // learned slots in use
+}
+
+// Lookup implements Predictor. The actual value is ignored.
+func (w *WangFranklin) Lookup(pc, _ uint64) Prediction {
+	e := w.vhtEntry(pc)
+	if !e.valid || e.pc != pc {
+		return Prediction{}
+	}
+	ph := &w.pht[w.phtIndex(pc, e.hist)]
+
+	best, bestConf := -1, -1
+	for s := 0; s < wfSlots; s++ {
+		if s >= w.activeSlots() && s < wfSlotZero {
+			continue
+		}
+		if int(ph.conf[s]) > bestConf {
+			best, bestConf = s, int(ph.conf[s])
+		}
+	}
+	// In multi-value mode the predictor itself is "more liberal" (§5.6):
+	// the lowered bar applies to the primary prediction as well as to the
+	// alternates, with the discriminating criticality selector expected to
+	// keep the extra predictions focused on profitable loads.
+	bar := w.p.Threshold
+	if w.liberal > 0 && w.liberal < bar {
+		bar = w.liberal
+	}
+	pr := Prediction{
+		Valid:     true,
+		Value:     w.slotValue(e, best),
+		Conf:      bestConf,
+		Confident: bestConf >= bar,
+	}
+
+	altBar := w.liberal
+	if altBar <= 0 {
+		altBar = w.p.Threshold
+	}
+	for s := 0; s < wfSlots; s++ {
+		if s == best || (s >= w.activeSlots() && s < wfSlotZero) {
+			continue
+		}
+		if int(ph.conf[s]) < altBar {
+			continue
+		}
+		v := w.slotValue(e, s)
+		if v == pr.Value {
+			continue
+		}
+		dup := false
+		for _, a := range pr.Alternates {
+			if a.Value == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			pr.Alternates = append(pr.Alternates, Candidate{Value: v, Conf: int(ph.conf[s])})
+		}
+	}
+	return pr
+}
+
+// Train implements Predictor: confidence update, pattern-history shift,
+// learned-value replacement, and stride update, in the order the paper
+// describes (stride speculatively at use, the rest at commit — the
+// simulator trains in per-thread program order, which matches both).
+func (w *WangFranklin) Train(pc, actual uint64) {
+	e := w.vhtEntry(pc)
+	if !e.valid || e.pc != pc {
+		*e = wfVHTEntry{pc: pc, last: actual, valid: true}
+		for i := 0; i < w.activeSlots(); i++ {
+			e.values[i] = actual
+		}
+		return
+	}
+	ph := &w.pht[w.phtIndex(pc, e.hist)]
+
+	matched := -1
+	for s := 0; s < wfSlots; s++ {
+		if s >= w.activeSlots() && s < wfSlotZero {
+			continue
+		}
+		if w.slotValue(e, s) == actual {
+			if matched == -1 || ph.conf[s] > ph.conf[matched] {
+				matched = s
+			}
+			if int(ph.conf[s]) < w.p.ConfMax {
+				ph.conf[s] += int16(w.p.ConfInc)
+			}
+		} else if int(ph.conf[s]) >= w.p.Threshold {
+			// This slot would have been (or nearly been) predicted
+			// and was wrong: back off hard.
+			ph.conf[s] -= int16(w.p.ConfDec)
+			if ph.conf[s] < 0 {
+				ph.conf[s] = 0
+			}
+		}
+	}
+
+	histSlot := matched
+	if matched == -1 {
+		// No candidate matched: replace the globally least confident
+		// learned value with the new one.
+		victim := 0
+		for s := 1; s < w.activeSlots(); s++ {
+			if ph.conf[s] < ph.conf[victim] {
+				victim = s
+			}
+		}
+		e.values[victim] = actual
+		ph.conf[victim] = 1
+		histSlot = victim
+	}
+
+	e.hist = ((e.hist << wfSlotBits) | uint64(histSlot)) & w.histMsk
+	e.stride = int64(actual) - int64(e.last)
+	e.last = actual
+}
+
+var _ Predictor = (*WangFranklin)(nil)
