@@ -31,6 +31,7 @@ func main() {
 		insts     = flag.Uint64("insts", 300_000, "useful committed instruction budget")
 		seed      = flag.Uint64("seed", 1, "workload seed")
 		noPrefS   = flag.Bool("noprefetch", false, "disable the stride prefetcher")
+		check     = flag.Bool("check", false, "run the lockstep oracle checker and pipeline invariant auditor (slower; fails loudly on any divergence)")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		traceN    = flag.Uint64("trace", 0, "print the first N pipeline trace events to stderr")
 		traceKind = flag.String("tracekinds", "", "comma-separated event kinds to trace (spawn,confirm,kill,commit,...)")
@@ -92,6 +93,7 @@ func main() {
 	}
 	cfg.MaxInsts = *insts
 	cfg.Seed = *seed
+	cfg.Check = *check
 
 	prog, image := bench.Build(*seed)
 	var tr trace.Tracer
@@ -120,6 +122,9 @@ func main() {
 		cfg.VP.SpawnLatency, cfg.VP.StoreBufEntries)
 	fmt.Printf("cycles     %d\n", s.Cycles)
 	fmt.Printf("committed  %d (useful)\n", s.Committed)
+	if *check {
+		fmt.Printf("checked    %d useful commits verified against the lockstep oracle\n", res.Checked)
+	}
 	fmt.Printf("IPC        %.4f\n", s.UsefulIPC())
 	fmt.Printf("branches   %d (%.2f%% mispredicted)\n", s.Branches,
 		100*float64(s.BranchWrong)/maxf(float64(s.Branches), 1))

@@ -252,6 +252,16 @@ type Config struct {
 	MaxInsts  uint64 // stop after this many useful committed instructions
 	MaxCycles uint64 // hard safety stop
 	Seed      uint64 // workload/data seed
+
+	// Differential checking (observational; not part of the modelled
+	// machine). Check runs a lockstep in-order oracle alongside the
+	// pipeline, verifying every useful committed instruction's PC,
+	// destination value, and store address/data, and enables the pipeline
+	// invariant auditor. A divergence or invariant violation fails the run
+	// with a windowed dump of recent commits. CheckWindow sets the
+	// per-thread commit history kept for that dump (0 = default).
+	Check       bool
+	CheckWindow int
 }
 
 // Baseline returns the Table 1 machine with value prediction disabled.
@@ -408,6 +418,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: MultiValue needs MaxValuesPerLoad >= 2")
 	case c.VP.SharedStoreBuf && c.VP.SharedStoreBufEntries < 1:
 		return fmt.Errorf("config: SharedStoreBuf needs SharedStoreBufEntries >= 1")
+	case c.CheckWindow < 0:
+		return fmt.Errorf("config: CheckWindow must be >= 0, got %d", c.CheckWindow)
 	}
 	for _, cp := range []CacheParams{c.ICache, c.DL1, c.L2, c.L3} {
 		if cp.Sets() < 1 {

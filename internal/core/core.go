@@ -31,6 +31,11 @@ type Result struct {
 	// reference).
 	Regs   [isa.NumRegs]uint64
 	RegsOK bool
+	// Checked is the number of useful commits verified against the
+	// lockstep oracle (0 unless cfg.Check was set). On a checked run that
+	// halted, Checked equals Stats.Committed and final registers and
+	// memory were compared too.
+	Checked uint64
 }
 
 // IPC returns the run's useful instructions per cycle.
@@ -60,8 +65,14 @@ func RunTraced(cfg config.Config, prog *isa.Program, image *mem.Memory, tr trace
 	}
 	if eng.Halted() {
 		eng.Finalize()
+		// With checking enabled the committed stream was verified
+		// instruction by instruction; a completed run also gets its final
+		// architectural state compared against the oracle.
+		if err := eng.FinalCheck(); err != nil {
+			return nil, fmt.Errorf("core: %s: %w", prog.Name, err)
+		}
 	}
-	res := &Result{Stats: *st, Halted: eng.Halted()}
+	res := &Result{Stats: *st, Halted: eng.Halted(), Checked: eng.CheckedCommits()}
 	res.Regs, res.RegsOK = eng.ArchRegs()
 	return res, nil
 }

@@ -1,0 +1,202 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"mtvp/internal/isa"
+	"mtvp/internal/storebuf"
+)
+
+// The invariant auditor is the structural half of the correctness net (the
+// lockstep oracle in check.go is the architectural half). It is enabled by
+// cfg.Check — the same knob the test suite and the -check CLI flag use — so
+// normal performance runs pay nothing. Cheap site assertions (commit from a
+// dead thread, speculative store drain, rename-map state at spawn and kill)
+// run at every occurrence; the full machine scan runs every auditInterval
+// cycles. The first violation aborts the run with a description.
+
+// auditInterval is the cycle stride of the full invariant scan. Site
+// assertions are not rate-limited.
+const auditInterval = 64
+
+// auditFail records the first invariant violation.
+func (e *Engine) auditFail(format string, args ...interface{}) {
+	if e.auditErr == nil {
+		e.auditErr = fmt.Errorf("pipeline: invariant violation at cycle %d: %s",
+			e.now, fmt.Sprintf(format, args...))
+	}
+}
+
+// auditCycle is called once per simulated cycle when auditing is enabled.
+func (e *Engine) auditCycle() error {
+	if e.auditErr == nil && e.now%auditInterval == 0 {
+		e.auditScan()
+	}
+	return e.auditErr
+}
+
+// auditCommit checks per-commit invariants: only live, never-killed threads
+// may commit, and a thread's commit stream is strictly age-ordered.
+func (e *Engine) auditCommit(t *thread, u *uop) {
+	if t.killed || !t.live {
+		e.auditFail("T%d/%d committed seq %d (pc %d) after being killed/freed",
+			t.id, t.order, u.seq, u.ex.PC)
+	}
+	if u.thread != t {
+		e.auditFail("T%d/%d committed seq %d belonging to T%d",
+			t.id, t.order, u.seq, u.thread.id)
+	}
+}
+
+// auditStoreDrain guards the store-buffer containment invariant at the two
+// drain sites: a store may reach the cache hierarchy only from a thread
+// whose entire ancestry is non-speculative.
+func (e *Engine) auditStoreDrain(t *thread, addr uint64) {
+	if !t.promoted || t.isSpec() {
+		e.auditFail("speculative T%d/%d drained store addr %#x to the cache (promoted=%v spec=%v)",
+			t.id, t.order, addr, t.promoted, t.isSpec())
+	}
+}
+
+// auditSpawn checks rename-map consistency at spawn: the child's last-writer
+// table must be the parent's flash copy with exactly the load destination
+// rewritten (to nil for a followed prediction — the value is architecturally
+// in the child's forked register file — or to the load itself in spawn-only
+// mode, where dependents wait for the real value).
+func (e *Engine) auditSpawn(parent, child *thread, rd isa.Reg, loadU *uop, spawnOnly bool) {
+	for r := 0; r < isa.NumRegs; r++ {
+		want := parent.lastWriter[r]
+		if isa.Reg(r) == rd {
+			want = nil
+			if spawnOnly {
+				want = loadU
+			}
+		}
+		if child.lastWriter[r] != want {
+			e.auditFail("spawned T%d/%d rename map reg %d inconsistent with parent T%d/%d",
+				child.id, child.order, r, parent.id, parent.order)
+			return
+		}
+	}
+	if child.parent != parent {
+		e.auditFail("spawned T%d/%d does not point at parent T%d/%d",
+			child.id, child.order, parent.id, parent.order)
+	}
+}
+
+// auditKill checks rename-map consistency after a thread kill: no surviving
+// thread outside the dying subtree may still name one of its uops as a
+// register's last writer (the dependence graph would dangle into squashed
+// state). Threads that descend from the killed thread are skipped — they
+// are killed next within the same killSubtree walk.
+func (e *Engine) auditKill(t *thread) {
+	for _, o := range e.liveByOrder() {
+		if o == t || descendsFrom(o, t) {
+			continue
+		}
+		for r := 0; r < isa.NumRegs; r++ {
+			if w := o.lastWriter[r]; w != nil && w.thread == t {
+				e.auditFail("surviving T%d/%d rename map reg %d names uop seq %d of killed T%d/%d",
+					o.id, o.order, r, w.seq, t.id, t.order)
+				return
+			}
+		}
+	}
+}
+
+// auditScan is the full structural walk: ROB age ordering, shared resource
+// counter reconciliation, rename-map liveness, per-thread ICOUNT, overlay
+// isolation, and speculative/promoted exclusion.
+func (e *Engine) auditScan() {
+	var robN, renameN, storeN int
+	var qN [numQueues]int
+	overlays := make(map[*storebuf.Overlay]*thread)
+
+	for _, t := range e.liveByOrder() {
+		if t.killed {
+			e.auditFail("T%d/%d is live but marked killed", t.id, t.order)
+			return
+		}
+		if t.promoted && t.isSpec() {
+			e.auditFail("T%d/%d is promoted while still speculative", t.id, t.order)
+			return
+		}
+		if t.overlay.Frozen() {
+			e.auditFail("T%d/%d executes against a frozen overlay", t.id, t.order)
+			return
+		}
+		if prev, dup := overlays[t.overlay]; dup {
+			e.auditFail("T%d/%d and T%d/%d share a store-buffer overlay",
+				t.id, t.order, prev.id, prev.order)
+			return
+		}
+		overlays[t.overlay] = t
+
+		// ROB age ordering: fetch sequence strictly increases front to
+		// back (squashed entries keep their place and their seq).
+		for i := 1; i < len(t.rob); i++ {
+			if t.rob[i].seq <= t.rob[i-1].seq {
+				e.auditFail("T%d/%d ROB age order broken at index %d: seq %d after %d",
+					t.id, t.order, i, t.rob[i].seq, t.rob[i-1].seq)
+				return
+			}
+		}
+
+		// Rename map must not dangle into killed threads.
+		for r := 0; r < isa.NumRegs; r++ {
+			if w := t.lastWriter[r]; w != nil && w.thread.killed {
+				e.auditFail("T%d/%d rename map reg %d names uop seq %d of killed T%d/%d",
+					t.id, t.order, r, w.seq, w.thread.id, w.thread.order)
+				return
+			}
+		}
+
+		// Shared-resource occupancy contributed by this thread.
+		icount := 0
+		for i := t.robHead; i < len(t.rob); i++ {
+			u := t.rob[i]
+			switch u.state {
+			case stWaiting:
+				robN++
+				qN[u.queue]++
+				icount++
+				if u.usesRename {
+					renameN++
+				}
+			case stIssued, stDone:
+				robN++
+				if u.usesRename {
+					renameN++
+				}
+			}
+		}
+		for _, u := range t.fetchBuf {
+			if u.state == stFetched {
+				icount++
+			}
+		}
+		if icount != t.icount {
+			e.auditFail("T%d/%d icount %d, recount %d", t.id, t.order, t.icount, icount)
+			return
+		}
+		storeN += len(t.storeQ)
+	}
+
+	if robN != e.robUsed {
+		e.auditFail("ROB occupancy %d, recount %d", e.robUsed, robN)
+		return
+	}
+	if renameN != e.renameUsed {
+		e.auditFail("rename register occupancy %d, recount %d", e.renameUsed, renameN)
+		return
+	}
+	for q := queueKind(0); q < numQueues; q++ {
+		if qN[q] != e.qUsed[q] {
+			e.auditFail("queue %d occupancy %d, recount %d", q, e.qUsed[q], qN[q])
+			return
+		}
+	}
+	if e.cfg.VP.SharedStoreBuf && storeN != e.sharedStoreUsed {
+		e.auditFail("shared store buffer occupancy %d, recount %d", e.sharedStoreUsed, storeN)
+	}
+}

@@ -1,0 +1,182 @@
+package pipeline
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mtvp/internal/config"
+	"mtvp/internal/oracle"
+	"mtvp/internal/workload"
+)
+
+func checkerBench(name string) workload.Benchmark {
+	return workload.PointerChase(name, workload.INT, workload.ChaseParams{
+		Nodes: 256, NodeBytes: 64, PoolSize: 8, DominantPct: 85, ReusePct: 5, Iters: 3,
+	})
+}
+
+func checkedCfg(cfg config.Config) config.Config {
+	cfg.Check = true
+	cfg.MaxInsts = 50_000_000
+	cfg.MaxCycles = 200_000_000
+	return cfg
+}
+
+// TestCheckerDetectsInjectedWrongValue corrupts one committed destination
+// value through the test commit hook (which runs before the checker sees the
+// record) and requires the lockstep oracle to flag exactly that commit — the
+// ISSUE's fault-injection acceptance criterion.
+func TestCheckerDetectsInjectedWrongValue(t *testing.T) {
+	cfg := checkedCfg(config.Baseline())
+	prog, image := checkerBench("fault-chase").Build(3)
+	eng, err := New(&cfg, prog, image, newStats())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var commits int
+	var corruptedSeq uint64
+	eng.commitHook = func(u *uop) {
+		commits++
+		if corruptedSeq == 0 && commits >= 100 && u.hasDest {
+			u.ex.Value ^= 0xdeadbeef
+			corruptedSeq = u.seq
+		}
+	}
+
+	err = eng.Run()
+	if corruptedSeq == 0 {
+		t.Fatal("fault never injected: no destination-writing commit after #100")
+	}
+	var d *oracle.Divergence
+	if !errors.As(err, &d) {
+		t.Fatalf("corrupted commit not detected: err = %v", err)
+	}
+	if d.Rec.Seq != corruptedSeq {
+		t.Fatalf("divergence flagged seq %d, corrupted seq %d", d.Rec.Seq, corruptedSeq)
+	}
+	if !strings.Contains(d.Error(), "oracle divergence") ||
+		!strings.Contains(d.Error(), "recent commits by hardware context") {
+		t.Fatalf("divergence report missing expected sections:\n%s", d.Error())
+	}
+}
+
+// TestCheckerDetectsInjectedWrongValueMTVP injects the fault on the
+// multithreaded machine, into a commit of the oldest promoted thread so the
+// corrupted instruction is guaranteed useful (a speculative thread's commit
+// could be killed and legitimately never verified).
+func TestCheckerDetectsInjectedWrongValueMTVP(t *testing.T) {
+	cfg := checkedCfg(mtvpOracleCfg(8))
+	prog, image := checkerBench("fault-chase-mtvp").Build(3)
+	eng, err := New(&cfg, prog, image, newStats())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var commits int
+	var corruptedSeq uint64
+	eng.commitHook = func(u *uop) {
+		commits++
+		if corruptedSeq == 0 && commits >= 500 && u.hasDest && u.thread.promoted {
+			u.ex.Value ^= 0x5a5a5a5a
+			corruptedSeq = u.seq
+		}
+	}
+
+	err = eng.Run()
+	if corruptedSeq == 0 {
+		t.Fatal("fault never injected")
+	}
+	var d *oracle.Divergence
+	if !errors.As(err, &d) {
+		t.Fatalf("corrupted commit not detected: err = %v", err)
+	}
+	if d.Rec.Seq != corruptedSeq {
+		t.Fatalf("divergence flagged seq %d, corrupted seq %d", d.Rec.Seq, corruptedSeq)
+	}
+}
+
+// TestCheckedMTVPRunClean runs the limit-study MTVP machine under full
+// checking and requires a clean halt with every useful commit verified.
+func TestCheckedMTVPRunClean(t *testing.T) {
+	cfg := checkedCfg(mtvpOracleCfg(8))
+	prog, image := checkerBench("clean-chase").Build(7)
+	st := newStats()
+	eng, err := New(&cfg, prog, image, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatalf("checked run diverged: %v", err)
+	}
+	if !eng.Halted() {
+		t.Fatalf("did not halt: committed=%d cycles=%d", st.Committed, eng.Now())
+	}
+	eng.Finalize()
+	if err := eng.FinalCheck(); err != nil {
+		t.Fatalf("final state check failed: %v", err)
+	}
+	if got := eng.CheckedCommits(); got != st.Committed {
+		t.Fatalf("verified %d commits, engine counted %d useful", got, st.Committed)
+	}
+	if eng.CheckedCommits() == 0 {
+		t.Fatal("checker verified nothing")
+	}
+}
+
+// newAuditEngine builds a checked engine without running it, for white-box
+// auditor tests.
+func newAuditEngine(t *testing.T) *Engine {
+	t.Helper()
+	cfg := checkedCfg(config.Baseline())
+	prog, image := checkerBench("audit-chase").Build(1)
+	eng, err := New(&cfg, prog, image, newStats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestAuditorDetectsCounterDrift(t *testing.T) {
+	eng := newAuditEngine(t)
+	eng.robUsed = 7 // no uop in flight accounts for these entries
+	eng.auditScan()
+	if eng.auditErr == nil || !strings.Contains(eng.auditErr.Error(), "ROB occupancy") {
+		t.Fatalf("ROB counter drift not flagged: %v", eng.auditErr)
+	}
+}
+
+func TestAuditorDetectsROBAgeOrder(t *testing.T) {
+	eng := newAuditEngine(t)
+	root := eng.liveByOrder()[0]
+	// Squashed entries keep their place and their seq, so two out-of-order
+	// squashed uops corrupt age order without touching occupancy counters.
+	root.rob = append(root.rob,
+		&uop{seq: 5, thread: root, state: stSquashed},
+		&uop{seq: 3, thread: root, state: stSquashed})
+	eng.auditScan()
+	if eng.auditErr == nil || !strings.Contains(eng.auditErr.Error(), "age order") {
+		t.Fatalf("ROB age-order violation not flagged: %v", eng.auditErr)
+	}
+}
+
+func TestAuditorDetectsDeadThreadCommit(t *testing.T) {
+	eng := newAuditEngine(t)
+	dead := &thread{id: 1, order: 9, killed: true}
+	u := &uop{seq: 42, thread: dead}
+	eng.auditCommit(dead, u)
+	if eng.auditErr == nil || !strings.Contains(eng.auditErr.Error(), "killed") {
+		t.Fatalf("commit from killed thread not flagged: %v", eng.auditErr)
+	}
+}
+
+func TestAuditorDetectsSpeculativeStoreDrain(t *testing.T) {
+	eng := newAuditEngine(t)
+	parent := eng.liveByOrder()[0]
+	spec := &thread{id: 1, order: 9, live: true, parent: parent, spawn: &vpEvent{}}
+	eng.auditStoreDrain(spec, 0x1000)
+	if eng.auditErr == nil || !strings.Contains(eng.auditErr.Error(), "speculative") {
+		t.Fatalf("speculative store drain not flagged: %v", eng.auditErr)
+	}
+}

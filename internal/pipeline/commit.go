@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"mtvp/internal/isa"
+	"mtvp/internal/oracle"
 	"mtvp/internal/trace"
 )
 
@@ -39,6 +40,9 @@ func (e *Engine) commit() {
 }
 
 func (e *Engine) commitOne(t *thread, u *uop) {
+	if e.auditOn {
+		e.auditCommit(t, u)
+	}
 	u.state = stCommitted
 	t.robHead++
 	e.robUsed--
@@ -50,6 +54,9 @@ func (e *Engine) commitOne(t *thread, u *uop) {
 	e.lastProgress = e.now
 	if e.commitHook != nil {
 		e.commitHook(u)
+	}
+	if e.checker != nil {
+		e.checkCommit(t, u)
 	}
 	e.emit(trace.KCommit, u)
 
@@ -82,6 +89,9 @@ func (e *Engine) commitStore(t *thread, u *uop) {
 	for i := range t.storeQ {
 		if t.storeQ[i].u == u {
 			if t.promoted {
+				if e.auditOn {
+					e.auditStoreDrain(t, t.storeQ[i].addr)
+				}
 				e.hier.Store(t.storeQ[i].addr)
 				t.storeQ = append(t.storeQ[:i], t.storeQ[i+1:]...)
 				e.noteStoreFree(1)
@@ -116,12 +126,23 @@ func (e *Engine) freeRetiring(t *thread) {
 
 	if heir == nil {
 		// Every child of the confirmed event died with a mispredicted
-		// ancestor before the drain finished; nothing inherits.
+		// ancestor before the drain finished; nothing inherits. Any
+		// still-buffered checker records die with the lineage — this
+		// stream will be refetched (under new sequence numbers) by the
+		// surviving ancestor.
+		t.checkBuf = nil
+		e.flushOldestCheck()
 		return
 	}
 	heir.parent = t.parent
 	heir.spawn = t.spawn
 	heir.committed += t.committed
+	if len(t.checkBuf) > 0 {
+		// A parent that retired while itself still speculative hands its
+		// unverified commits to the heir along with its lineage slot.
+		heir.checkBuf = append(append([]oracle.Record(nil), t.checkBuf...), heir.checkBuf...)
+		t.checkBuf = nil
+	}
 	if t.spawn != nil {
 		for i, c := range t.spawn.children {
 			if c == t {
@@ -150,6 +171,9 @@ func (e *Engine) promoteReady() {
 		kept := t.storeQ[:0]
 		for _, se := range t.storeQ {
 			if se.u == nil || se.u.state == stCommitted {
+				if e.auditOn {
+					e.auditStoreDrain(t, se.addr)
+				}
 				e.hier.Store(se.addr)
 				e.noteStoreFree(1)
 			} else {
@@ -162,6 +186,7 @@ func (e *Engine) promoteReady() {
 			e.finishAt(t)
 		}
 	}
+	e.flushOldestCheck()
 }
 
 // finishAt ends the simulation: a non-speculative thread committed HALT.

@@ -342,6 +342,12 @@ func (e *Engine) killOne(t *thread) {
 	e.noteStoreFree(len(t.storeQ))
 	t.fetchBuf = nil
 	t.storeQ = nil
+	// The thread's commits were discounted from useful work above; the
+	// checker must never verify them.
+	t.checkBuf = nil
 	t.overlay.Release()
 	e.slots[t.id] = nil
+	if e.auditOn {
+		e.auditKill(t)
+	}
 }

@@ -10,6 +10,7 @@ import (
 	"mtvp/internal/crit"
 	"mtvp/internal/isa"
 	"mtvp/internal/mem"
+	"mtvp/internal/oracle"
 	"mtvp/internal/stats"
 	"mtvp/internal/storebuf"
 	"mtvp/internal/trace"
@@ -62,6 +63,13 @@ type Engine struct {
 
 	commitHook func(u *uop) // test instrumentation; nil in normal runs
 	tracer     trace.Tracer // optional event tracer; nil in normal runs
+
+	// Differential checking (cfg.Check): the lockstep oracle checker and
+	// the invariant auditor. Both nil/off in normal performance runs.
+	checker  *oracle.Checker
+	checkErr error
+	auditOn  bool
+	auditErr error
 }
 
 // SetTracer attaches an event tracer. Tracing is observational only.
@@ -119,6 +127,13 @@ func New(cfg *config.Config, prog *isa.Program, memory *mem.Memory, st *stats.St
 	e.qCap[qInt] = cfg.IQSize
 	e.qCap[qFP] = cfg.FQSize
 	e.qCap[qMem] = cfg.MQSize
+
+	if cfg.Check {
+		// The checker clones the image before the engine can touch it;
+		// the auditor rides the same knob.
+		e.checker = oracle.NewChecker(prog, memory, cfg.CheckWindow)
+		e.auditOn = true
+	}
 
 	root := &thread{
 		id:       0,
@@ -211,10 +226,20 @@ func (e *Engine) Run() error {
 	for !e.finished {
 		e.now++
 		e.commit()
+		if e.checkErr != nil {
+			e.st.Cycles = uint64(e.now)
+			return e.checkErr
+		}
 		e.complete()
 		e.issue()
 		e.dispatch()
 		e.fetch()
+		if e.auditOn {
+			if err := e.auditCycle(); err != nil {
+				e.st.Cycles = uint64(e.now)
+				return err
+			}
+		}
 
 		if e.st.Committed >= e.cfg.MaxInsts {
 			break
@@ -223,12 +248,57 @@ func (e *Engine) Run() error {
 			break
 		}
 		if e.now-e.lastProgress > watchdog {
+			if e.breakDeadlock() {
+				continue
+			}
 			return fmt.Errorf("pipeline: no commit progress since cycle %d (now %d): %s",
 				e.lastProgress, e.now, e.describeStall())
 		}
 	}
 	e.st.Cycles = uint64(e.now)
+	if e.finished {
+		// The run ended at a useful HALT: whatever useful work was still
+		// buffered on younger promoted threads is program-order complete
+		// and can be verified now.
+		e.flushFinalCheck()
+		if e.checkErr != nil {
+			return e.checkErr
+		}
+	}
+	if e.auditOn {
+		if e.auditErr == nil {
+			e.auditScan()
+		}
+		if e.auditErr != nil {
+			return e.auditErr
+		}
+	}
 	return nil
+}
+
+// breakDeadlock recovers from speculation-induced resource deadlock: a
+// spawned thread's dependence map names parent uops that are still waiting to
+// dispatch, and its dependent uops fill the shared issue queues until the
+// parent can no longer dispatch the very load that would resolve the
+// speculation — circular wait, zero commits. Real designs bound speculative
+// resource occupancy; ours recovers by killing the youngest speculative
+// subtree (its queue slots free, the machine resumes) and lets the watchdog
+// fire for real if no speculation is left to blame.
+func (e *Engine) breakDeadlock() bool {
+	var victim *thread
+	for _, t := range e.liveByOrder() {
+		if t.isSpec() && (victim == nil || t.order > victim.order) {
+			victim = t
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	e.st.DeadlockBreaks++
+	e.emitThread(trace.KKill, victim, "killed to break resource deadlock")
+	e.killSubtree(victim)
+	e.lastProgress = e.now
+	return true
 }
 
 // Finalize drains the surviving architectural thread's speculative store

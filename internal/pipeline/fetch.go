@@ -285,6 +285,9 @@ func (e *Engine) spawn(t *thread, loadU *uop, ev *vpEvent) {
 		e.orderedDirty = true
 		ev.children = append(ev.children, c)
 		ev.childVals = append(ev.childVals, v)
+		if e.auditOn {
+			e.auditSpawn(t, c, in.Rd, loadU, ev.spawnOnly)
+		}
 	}
 
 	if len(ev.children) == 0 {

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"mtvp/internal/crit"
 	"mtvp/internal/isa"
+	"mtvp/internal/oracle"
 	"mtvp/internal/storebuf"
 	"mtvp/internal/vpred"
 )
@@ -90,6 +91,13 @@ type thread struct {
 
 	committed uint64 // instructions committed since spawn (squashable)
 	killed    bool   // destroyed on a misprediction (its commits were discounted)
+
+	// checkBuf holds this thread's committed instructions that the
+	// lockstep checker cannot verify yet (the thread is speculative or an
+	// older thread is still draining). Flushed when the thread becomes the
+	// oldest promoted thread, inherited by the heir at retirement, dropped
+	// on kill. Nil unless cfg.Check is set.
+	checkBuf []oracle.Record
 }
 
 // isSpec reports whether the thread's existence still depends on an

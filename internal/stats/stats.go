@@ -53,6 +53,7 @@ type Stats struct {
 	STVPUsed        uint64 // single-thread predictions made (incl. fallback)
 	Reissues        uint64 // instructions re-executed by selective reissue
 	MultiValueSaves uint64 // events where a non-primary value was the right one
+	DeadlockBreaks  uint64 // speculative subtrees killed to restore commit progress
 }
 
 // UsefulIPC returns committed useful instructions per cycle.

@@ -1,0 +1,160 @@
+package vpred
+
+import (
+	"reflect"
+	"testing"
+
+	"mtvp/internal/config"
+	"mtvp/internal/mem"
+)
+
+// predictorsUnderTest builds one fresh instance of every realistic predictor
+// per call, so two calls give independent but identically-configured pairs.
+func predictorsUnderTest() map[string]func() Predictor {
+	return map[string]func() Predictor{
+		"wf":        func() Predictor { return NewWangFranklin(config.DefaultWF(), 0) },
+		"wf-multi":  func() Predictor { return NewWangFranklin(config.DefaultWF(), 6) },
+		"dfcm":      func() Predictor { return NewDFCM(config.DefaultDFCM()) },
+		"fcm":       func() Predictor { return NewFCM(config.DefaultDFCM()) },
+		"lastvalue": func() Predictor { return NewLastValue(4096, 12, 32) },
+		"stride":    func() Predictor { return NewStride(4096, 12, 32) },
+	}
+}
+
+// loadStream yields a mixed pc/value stream: per-PC stride sequences with
+// pseudorandom noise and repeats, so every predictor component (last value,
+// stride, learned values, context history) gets exercised.
+func loadStream(seed uint64, n int) []struct{ pc, value uint64 } {
+	r := mem.NewRand(seed)
+	const pcs = 48
+	var state [pcs]uint64
+	out := make([]struct{ pc, value uint64 }, n)
+	for i := range out {
+		p := r.Intn(pcs)
+		pc := uint64(0x4000 + p*4)
+		switch r.Intn(8) {
+		case 0: // noise value
+			state[p] = r.Next()
+		case 1: // repeat (no update)
+		default: // stride continuation
+			state[p] += uint64(p%5) * 8
+		}
+		out[i] = struct{ pc, value uint64 }{pc, state[p]}
+	}
+	return out
+}
+
+// TestDeterministicPredictionSequence drives two identically-configured
+// predictor instances with the same load stream and requires bit-identical
+// prediction sequences: predictors hold no hidden nondeterministic state.
+func TestDeterministicPredictionSequence(t *testing.T) {
+	for name, build := range predictorsUnderTest() {
+		name, build := name, build
+		t.Run(name, func(t *testing.T) {
+			a, b := build(), build()
+			for i, s := range loadStream(11, 20_000) {
+				pa := a.Lookup(s.pc, s.value)
+				pb := b.Lookup(s.pc, s.value)
+				if !reflect.DeepEqual(pa, pb) {
+					t.Fatalf("step %d: predictions diverge: %+v vs %+v", i, pa, pb)
+				}
+				a.Train(s.pc, s.value)
+				b.Train(s.pc, s.value)
+			}
+		})
+	}
+}
+
+// TestConfidenceBounds scans every confidence counter after every training
+// step: counters must saturate at ConfMax and never go negative, under a
+// stream engineered to hammer both the increment and the hard-backoff paths.
+func TestConfidenceBounds(t *testing.T) {
+	wfp := config.DefaultWF()
+	dp := config.DefaultDFCM()
+	wf := NewWangFranklin(wfp, 0)
+	dfcm := NewDFCM(dp)
+	fcm := NewFCM(dp)
+
+	checkWF := func(step int) {
+		for i := range wf.pht {
+			for s, c := range wf.pht[i].conf {
+				if c < 0 || int(c) > wfp.ConfMax {
+					t.Fatalf("step %d: WF pht[%d] slot %d confidence %d outside [0,%d]",
+						step, i, s, c, wfp.ConfMax)
+				}
+			}
+		}
+	}
+	checkL2 := func(step int, name string, confAt func(i int) int, n int) {
+		for i := 0; i < n; i++ {
+			if c := confAt(i); c < 0 || c > dp.ConfMax {
+				t.Fatalf("step %d: %s l2[%d] confidence %d outside [0,%d]",
+					step, name, i, c, dp.ConfMax)
+			}
+		}
+	}
+
+	for i, s := range loadStream(23, 30_000) {
+		wf.Train(s.pc, s.value)
+		dfcm.Train(s.pc, s.value)
+		fcm.Train(s.pc, s.value)
+		// A full table scan per step is quadratic; sample periodically but
+		// always scan the first steps, where saturation bugs surface.
+		if i < 64 || i%997 == 0 {
+			checkWF(i)
+			checkL2(i, "dfcm", func(j int) int { return dfcm.l2[j].conf }, len(dfcm.l2))
+			checkL2(i, "fcm", func(j int) int { return fcm.l2[j].conf }, len(fcm.l2))
+		}
+	}
+}
+
+// TestTableAliasingInBounds feeds adversarial PCs (extreme magnitudes, dense
+// aliases onto deliberately tiny tables) and extreme values: every internal
+// index stays within its table and lookups never panic.
+func TestTableAliasingInBounds(t *testing.T) {
+	wfp := config.DefaultWF()
+	wfp.VHTEntries, wfp.ValPHTEntries = 8, 16 // force heavy aliasing
+	dp := config.DefaultDFCM()
+	dp.L1Entries, dp.L2Entries = 8, 16
+
+	preds := map[string]Predictor{
+		"wf-tiny":   NewWangFranklin(wfp, 0),
+		"dfcm-tiny": NewDFCM(dp),
+		"fcm-tiny":  NewFCM(dp),
+		"lv-tiny":   NewLastValue(8, 12, 32),
+		"stride-8":  NewStride(8, 12, 32),
+	}
+	pcs := []uint64{0, 1, ^uint64(0), 1 << 63, 0xdeadbeefdeadbeef, 1<<32 + 7, 3}
+	vals := []uint64{0, 1, ^uint64(0), 1 << 63, 0x8000000000000001, 42}
+
+	r := mem.NewRand(5)
+	for name, p := range preds {
+		for i := 0; i < 5_000; i++ {
+			pc := pcs[r.Intn(len(pcs))] + uint64(r.Intn(3))
+			v := vals[r.Intn(len(vals))] + r.Next()%7
+			p.Lookup(pc, v) // must not panic on any alias pattern
+			p.Train(pc, v)
+		}
+		_ = name
+	}
+
+	// Direct index checks on the hash functions with adversarial state.
+	wf := preds["wf-tiny"].(*WangFranklin)
+	for _, pc := range pcs {
+		for _, hist := range vals {
+			if idx := wf.phtIndex(pc, hist); idx >= uint64(len(wf.pht)) {
+				t.Fatalf("WF pht index %d out of bounds for pc %#x hist %#x", idx, pc, hist)
+			}
+		}
+	}
+	dfcm := preds["dfcm-tiny"].(*DFCM)
+	e := &dfcmL1{pc: ^uint64(0), deltas: []int64{1 << 62, -(1 << 62), -1}}
+	if idx := dfcm.index(e); idx >= uint64(len(dfcm.l2)) {
+		t.Fatalf("DFCM l2 index %d out of bounds", idx)
+	}
+	fcm := preds["fcm-tiny"].(*FCM)
+	fe := &fcmL1{pc: 1 << 63, hist: []uint64{^uint64(0), 0, 1 << 62}}
+	if idx := fcm.index(fe); idx >= uint64(len(fcm.l2)) {
+		t.Fatalf("FCM l2 index %d out of bounds", idx)
+	}
+}
