@@ -6,7 +6,11 @@
 //	mtvpbench -exp all -insts 200000 # everything (slow)
 //
 // Experiments: table1, fig1, fig2, sb, fig3, dfcm, fig4, fig5, multival,
-// fig6, prefetch, selector, all.
+// fig6, prefetch, selector, robust, all.
+//
+// The -faults flag arms a fault-injection profile (see internal/fault) on
+// every simulated machine of the selected experiment; `-exp robust` runs
+// the dedicated oracle-checked campaign over all built-in profiles.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"time"
 
 	"mtvp/internal/experiments"
+	"mtvp/internal/fault"
 	"mtvp/internal/stats"
 	"mtvp/internal/workload"
 )
@@ -29,6 +34,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent simulations")
 		benchCSV = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
+		faults   = flag.String("faults", "", "fault-injection profile armed on every run (\"\" = none)")
+		fseed    = flag.Uint64("faultseed", 1, "fault injector seed")
 	)
 	flag.Parse()
 
@@ -36,6 +43,12 @@ func main() {
 	opt.Insts = *insts
 	opt.Seed = *seed
 	opt.Parallel = *parallel
+	opt.FaultProfile = *faults
+	opt.FaultSeed = *fseed
+	if _, err := fault.ByName(*faults); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	if *benchCSV != "" {
 		for _, name := range strings.Split(*benchCSV, ",") {
 			b, err := workload.ByName(strings.TrimSpace(name))
@@ -70,6 +83,7 @@ func main() {
 		{"prefetch", experiments.PrefetchAblation},
 		{"selector", experiments.SelectorCompare},
 		{"sborg", experiments.StoreBufferOrg},
+		{"robust", experiments.FaultCampaign},
 	}
 
 	if *exp == "table1" || *exp == "all" {

@@ -4,62 +4,108 @@
 // Usage:
 //
 //	mtvpsim -bench mcf -machine mtvp -contexts 4 -pred wf -sel ilp
+//	mtvpsim -bench mcf -machine mtvp -check -faults spawn-storm
 //	mtvpsim -list
+//
+// Exit codes: 0 on success, 1 on usage or generic simulation errors, 2 when
+// the lockstep oracle checker detects a divergence (a wrong committed
+// value), 3 when the engine aborts with a structured fault report
+// (recovery exhausted under a fault campaign).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"mtvp/internal/config"
 	"mtvp/internal/core"
+	"mtvp/internal/fault"
+	"mtvp/internal/oracle"
 	"mtvp/internal/trace"
 	"mtvp/internal/workload"
 )
 
+// Exit codes. Scripts driving fault campaigns distinguish "the machine
+// committed a wrong value" (the one outcome the robustness contract
+// forbids) from "the machine gave up cleanly".
+const (
+	exitOK         = 0
+	exitErr        = 1
+	exitDivergence = 2
+	exitFault      = 3
+)
+
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// exitCode maps a simulation error to the process exit code.
+func exitCode(err error) int {
+	if err == nil {
+		return exitOK
+	}
+	if oracle.IsDivergence(err) {
+		return exitDivergence
+	}
+	var rep *fault.Report
+	if errors.As(err, &rep) {
+		return exitFault
+	}
+	return exitErr
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mtvpsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		benchName = flag.String("bench", "mcf", "benchmark name (see -list)")
-		machine   = flag.String("machine", "baseline", "baseline | stvp | mtvp | mtvp-nostall | multival | spawn-only | wide-window")
-		contexts  = flag.Int("contexts", 4, "hardware thread contexts (mtvp machines)")
-		pred      = flag.String("pred", "wf", "value predictor: oracle | wf | dfcm | fcm | lastvalue | stride")
-		sel       = flag.String("sel", "ilp", "load selector: ilp | l3 | always")
-		spawnLat  = flag.Int("spawnlat", -1, "spawn latency in cycles (-1 = machine default)")
-		storeBuf  = flag.Int("storebuf", -1, "store buffer entries per context (-1 = default, 0 = unbounded)")
-		insts     = flag.Uint64("insts", 300_000, "useful committed instruction budget")
-		seed      = flag.Uint64("seed", 1, "workload seed")
-		noPrefS   = flag.Bool("noprefetch", false, "disable the stride prefetcher")
-		check     = flag.Bool("check", false, "run the lockstep oracle checker and pipeline invariant auditor (slower; fails loudly on any divergence)")
-		list      = flag.Bool("list", false, "list benchmarks and exit")
-		traceN    = flag.Uint64("trace", 0, "print the first N pipeline trace events to stderr")
-		traceKind = flag.String("tracekinds", "", "comma-separated event kinds to trace (spawn,confirm,kill,commit,...)")
+		benchName = fs.String("bench", "mcf", "benchmark name (see -list)")
+		machine   = fs.String("machine", "baseline", "baseline | stvp | mtvp | mtvp-nostall | multival | spawn-only | wide-window")
+		contexts  = fs.Int("contexts", 4, "hardware thread contexts (mtvp machines)")
+		pred      = fs.String("pred", "wf", "value predictor: oracle | wf | dfcm | fcm | lastvalue | stride")
+		sel       = fs.String("sel", "ilp", "load selector: ilp | l3 | always")
+		spawnLat  = fs.Int("spawnlat", -1, "spawn latency in cycles (-1 = machine default)")
+		storeBuf  = fs.Int("storebuf", -1, "store buffer entries per context (-1 = default, 0 = unbounded)")
+		insts     = fs.Uint64("insts", 300_000, "useful committed instruction budget")
+		seed      = fs.Uint64("seed", 1, "workload seed")
+		noPrefS   = fs.Bool("noprefetch", false, "disable the stride prefetcher")
+		check     = fs.Bool("check", false, "run the lockstep oracle checker and pipeline invariant auditor (slower; fails loudly on any divergence)")
+		faults    = fs.String("faults", "", "fault-injection profile (pred-flip, spawn-storm, stuck-iq, monsoon, ...; \"\" = none)")
+		faultSeed = fs.Uint64("faultseed", 1, "fault injector seed (campaigns are reproducible from profile+seed)")
+		watchdog  = fs.Int64("watchdog", 0, "recovery watchdog base in cycles (0 = default)")
+		list      = fs.Bool("list", false, "list benchmarks and exit")
+		traceN    = fs.Uint64("trace", 0, "print the first N pipeline trace events to stderr")
+		traceKind = fs.String("tracekinds", "", "comma-separated event kinds to trace (spawn,confirm,kill,commit,fault,...)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return exitErr
+	}
 
 	if *list {
 		for _, b := range workload.All() {
-			fmt.Printf("%-12s %-8s %s\n", b.Name, b.Kind, b.Suite)
+			fmt.Fprintf(stdout, "%-12s %-8s %s\n", b.Name, b.Kind, b.Suite)
 		}
-		return
+		return exitOK
 	}
 
 	bench, err := workload.ByName(*benchName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return exitErr
 	}
 
 	pk, err := parsePred(*pred)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return exitErr
 	}
 	sk, err := parseSel(*sel)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return exitErr
 	}
 
 	var cfg config.Config
@@ -79,8 +125,8 @@ func main() {
 	case "wide-window":
 		cfg = core.WideWindow()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown machine %q\n", *machine)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "unknown machine %q\n", *machine)
+		return exitErr
 	}
 	if *spawnLat >= 0 {
 		cfg.VP.SpawnLatency = *spawnLat
@@ -94,16 +140,23 @@ func main() {
 	cfg.MaxInsts = *insts
 	cfg.Seed = *seed
 	cfg.Check = *check
+	cfg.Faults.Profile = *faults
+	cfg.Faults.Seed = *faultSeed
+	cfg.Recovery.WatchdogCycles = *watchdog
+	if _, err := fault.ByName(*faults); err != nil {
+		fmt.Fprintln(stderr, err)
+		return exitErr
+	}
 
 	prog, image := bench.Build(*seed)
 	var tr trace.Tracer
 	if *traceN > 0 {
-		w := &trace.Writer{W: os.Stderr, Max: *traceN}
+		w := &trace.Writer{W: stderr, Max: *traceN}
 		if *traceKind != "" {
 			kinds, err := parseKinds(*traceKind)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, err)
+				return exitErr
 			}
 			w.Kinds = kinds
 		}
@@ -111,36 +164,49 @@ func main() {
 	}
 	res, err := core.RunTraced(cfg, prog, image, tr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return exitCode(err)
 	}
 
 	s := &res.Stats
-	fmt.Printf("benchmark  %s (%s, %s)\n", bench.Name, bench.Kind, bench.Suite)
-	fmt.Printf("machine    %s pred=%s sel=%s contexts=%d spawn=%dcyc storebuf=%d\n",
+	fmt.Fprintf(stdout, "benchmark  %s (%s, %s)\n", bench.Name, bench.Kind, bench.Suite)
+	fmt.Fprintf(stdout, "machine    %s pred=%s sel=%s contexts=%d spawn=%dcyc storebuf=%d\n",
 		*machine, cfg.VP.Predictor, cfg.VP.Selector, cfg.Contexts,
 		cfg.VP.SpawnLatency, cfg.VP.StoreBufEntries)
-	fmt.Printf("cycles     %d\n", s.Cycles)
-	fmt.Printf("committed  %d (useful)\n", s.Committed)
+	fmt.Fprintf(stdout, "cycles     %d\n", s.Cycles)
+	fmt.Fprintf(stdout, "committed  %d (useful)\n", s.Committed)
 	if *check {
-		fmt.Printf("checked    %d useful commits verified against the lockstep oracle\n", res.Checked)
+		fmt.Fprintf(stdout, "checked    %d useful commits verified against the lockstep oracle\n", res.Checked)
 	}
-	fmt.Printf("IPC        %.4f\n", s.UsefulIPC())
-	fmt.Printf("branches   %d (%.2f%% mispredicted)\n", s.Branches,
+	fmt.Fprintf(stdout, "IPC        %.4f\n", s.UsefulIPC())
+	fmt.Fprintf(stdout, "branches   %d (%.2f%% mispredicted)\n", s.Branches,
 		100*float64(s.BranchWrong)/maxf(float64(s.Branches), 1))
-	fmt.Printf("loads      %d  DL1 miss %d  L2 miss %d  L3 miss %d  sbuf fwd %d\n",
+	fmt.Fprintf(stdout, "loads      %d  DL1 miss %d  L2 miss %d  L3 miss %d  sbuf fwd %d\n",
 		s.Loads, s.DL1Miss, s.L2Miss, s.L3Miss, s.StoreBufHits)
-	fmt.Printf("prefetch   issued %d  stream hits %d\n", s.PrefIssued, s.PrefHits)
+	fmt.Fprintf(stdout, "prefetch   issued %d  stream hits %d\n", s.PrefIssued, s.PrefHits)
 	if s.VPLookups > 0 {
-		fmt.Printf("vpred      lookups %d  confident %d  followed %d  correct %d  wrong %d (acc %.3f)\n",
+		fmt.Fprintf(stdout, "vpred      lookups %d  confident %d  followed %d  correct %d  wrong %d (acc %.3f)\n",
 			s.VPLookups, s.VPConfident, s.VPPredicted, s.VPCorrect, s.VPWrong, s.VPAccuracy())
-		fmt.Printf("threads    spawns %d  confirms %d  kills %d  stvp %d  reissues %d  squashed %d\n",
+		fmt.Fprintf(stdout, "threads    spawns %d  confirms %d  kills %d  stvp %d  reissues %d  squashed %d\n",
 			s.Spawns, s.Confirms, s.Kills, s.STVPUsed, s.Reissues, s.Squashed)
 		if s.VPWrongButPresent > 0 || s.MultiValueSaves > 0 {
-			fmt.Printf("multival   wrong-but-present %d  saves %d\n",
+			fmt.Fprintf(stdout, "multival   wrong-but-present %d  saves %d\n",
 				s.VPWrongButPresent, s.MultiValueSaves)
 		}
 	}
+	if *faults != "" && *faults != "none" {
+		fmt.Fprintf(stdout, "faults     profile %s seed %d  injected %d (flip %d alias %d sdrop %d scorrupt %d slost %d sdup %d mdelay %d stick %d)\n",
+			*faults, *faultSeed, s.FaultsInjected,
+			s.FaultPredBitFlip, s.FaultPredAlias, s.FaultStoreDrop, s.FaultStoreCorrupt,
+			s.FaultSpawnLost, s.FaultSpawnDup, s.FaultMemDelay, s.FaultIQStick)
+	}
+	if s.DeadlockBreaks > 0 || s.Degradations > 0 || s.QuarantineClamps > 0 ||
+		s.QuarantineDisables > 0 || s.RecoveryUnsticks > 0 {
+		fmt.Fprintf(stdout, "recovery   breaks %d  unsticks %d  degradations %d  restorations %d  quarantine clamp %d disable %d suppressed %d\n",
+			s.DeadlockBreaks, s.RecoveryUnsticks, s.Degradations, s.Restorations,
+			s.QuarantineClamps, s.QuarantineDisables, s.QuarantineSuppressed)
+	}
+	return exitOK
 }
 
 func parseKinds(csv string) ([]trace.Kind, error) {
@@ -149,6 +215,8 @@ func parseKinds(csv string) ([]trace.Kind, error) {
 		"done": trace.KComplete, "commit": trace.KCommit, "squash": trace.KSquash,
 		"reissue": trace.KReissue, "predict": trace.KPredict, "spawn": trace.KSpawn,
 		"confirm": trace.KConfirm, "kill": trace.KKill, "promote": trace.KPromote,
+		"fault": trace.KFault, "recover": trace.KRecover, "quarant": trace.KQuarantine,
+		"degrade": trace.KDegrade, "restore": trace.KRestore,
 	}
 	var out []trace.Kind
 	for _, part := range strings.Split(csv, ",") {

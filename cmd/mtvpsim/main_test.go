@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"mtvp/internal/fault"
+	"mtvp/internal/oracle"
+)
+
+func TestExitCode(t *testing.T) {
+	div := &oracle.Divergence{Reason: "value mismatch"}
+	rep := &fault.Report{Reason: "recovery exhausted"}
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, exitOK},
+		{"generic", errors.New("boom"), exitErr},
+		{"divergence", div, exitDivergence},
+		{"wrapped divergence", fmt.Errorf("core: mcf: %w", error(div)), exitDivergence},
+		{"fault report", rep, exitFault},
+		{"wrapped fault report", fmt.Errorf("core: mcf: %w", error(rep)), exitFault},
+	}
+	for _, c := range cases {
+		if got := exitCode(c.err); got != c.want {
+			t.Errorf("%s: exitCode = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errw); code != exitOK {
+		t.Fatalf("-list exited %d: %s", code, errw.String())
+	}
+	if out.Len() == 0 {
+		t.Fatal("-list printed nothing")
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	cases := [][]string{
+		{"-bench", "no-such-bench"},
+		{"-machine", "no-such-machine"},
+		{"-pred", "no-such-pred"},
+		{"-sel", "no-such-sel"},
+		{"-faults", "no-such-profile"},
+		{"-not-a-flag"},
+	}
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		if code := run(args, &out, &errw); code != exitErr {
+			t.Errorf("run(%v) exited %d, want %d", args, code, exitErr)
+		}
+	}
+}
+
+func TestRunCheckedCleanExitsZero(t *testing.T) {
+	var out, errw bytes.Buffer
+	args := []string{"-bench", "mcf", "-machine", "mtvp", "-contexts", "4",
+		"-check", "-insts", "3000"}
+	if code := run(args, &out, &errw); code != exitOK {
+		t.Fatalf("checked run exited %d: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "checked") {
+		t.Fatalf("checked run output missing checker line:\n%s", out.String())
+	}
+}
+
+func TestRunFaultCampaignPrintsCounters(t *testing.T) {
+	var out, errw bytes.Buffer
+	args := []string{"-bench", "mcf", "-machine", "mtvp", "-contexts", "4",
+		"-check", "-insts", "3000", "-faults", "spawn-storm", "-faultseed", "7"}
+	code := run(args, &out, &errw)
+	if code != exitOK && code != exitFault {
+		t.Fatalf("campaign run exited %d (want clean recovery or structured fault): %s",
+			code, errw.String())
+	}
+	if code == exitOK && !strings.Contains(out.String(), "faults     profile spawn-storm") {
+		t.Fatalf("campaign output missing fault counters:\n%s", out.String())
+	}
+	if code == exitFault && !strings.Contains(errw.String(), "fault report:") {
+		t.Fatalf("fault exit without a structured report on stderr:\n%s", errw.String())
+	}
+}

@@ -207,6 +207,43 @@ type VPParams struct {
 	DFCM DFCMParams
 }
 
+// FaultParams selects a deterministic fault-injection campaign. Faults are
+// microarchitectural only — they corrupt speculation metadata and timing
+// state, never architectural values — so a checked run under any profile
+// must either recover to an oracle-clean finish or abort with a structured
+// fault report.
+type FaultParams struct {
+	// Profile names a built-in fault profile from internal/fault ("" or
+	// "none" disables injection).
+	Profile string
+	// Seed seeds the injector's RNG stream (0 picks a fixed default), so a
+	// campaign run is exactly reproducible from (Profile, Seed).
+	Seed uint64
+}
+
+// RecoveryParams tunes the engine's recovery controller: the deadlock
+// watchdog's retry budget and backoff, the per-context misprediction-storm
+// quarantine, and the graceful-degradation ladder.
+type RecoveryParams struct {
+	// WatchdogCycles is the base commit-progress watchdog: cycles with no
+	// useful commit before the controller intervenes. 0 selects the
+	// default of 4*MemLatency + 50_000. Repeated breaks back the watchdog
+	// off exponentially up to 8x this base.
+	WatchdogCycles int64
+	// DeadlockBudget bounds consecutive deadlock-break recoveries before
+	// the controller escalates to degradation (0 selects the default of
+	// 8); the budget refills after sustained commit progress.
+	DeadlockBudget int
+	// CooldownCommits is the clean-commit cool-down after which a degraded
+	// context earns one speculation level back (0 selects 50_000).
+	CooldownCommits uint64
+	// QuarantineOff disables the per-context misprediction-storm detector.
+	QuarantineOff bool
+	// DegradeOff disables the graceful-degradation ladder: exhausting the
+	// deadlock budget aborts with a fault report immediately.
+	DegradeOff bool
+}
+
 // Config holds every architectural parameter of the simulated machine.
 type Config struct {
 	// Front end.
@@ -262,6 +299,10 @@ type Config struct {
 	// per-thread commit history kept for that dump (0 = default).
 	Check       bool
 	CheckWindow int
+
+	// Robustness: fault injection and the recovery controller.
+	Faults   FaultParams
+	Recovery RecoveryParams
 }
 
 // Baseline returns the Table 1 machine with value prediction disabled.
@@ -420,6 +461,10 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: SharedStoreBuf needs SharedStoreBufEntries >= 1")
 	case c.CheckWindow < 0:
 		return fmt.Errorf("config: CheckWindow must be >= 0, got %d", c.CheckWindow)
+	case c.Recovery.WatchdogCycles < 0:
+		return fmt.Errorf("config: Recovery.WatchdogCycles must be >= 0, got %d", c.Recovery.WatchdogCycles)
+	case c.Recovery.DeadlockBudget < 0:
+		return fmt.Errorf("config: Recovery.DeadlockBudget must be >= 0, got %d", c.Recovery.DeadlockBudget)
 	}
 	for _, cp := range []CacheParams{c.ICache, c.DL1, c.L2, c.L3} {
 		if cp.Sets() < 1 {

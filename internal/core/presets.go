@@ -78,3 +78,21 @@ func SpawnOnly(contexts int) config.Config {
 // WideWindow returns the Figure 6 idealized checkpoint machine: an
 // 8192-entry ROB, 8192-entry queues, and unlimited rename registers.
 func WideWindow() config.Config { return config.Baseline().WideWindow() }
+
+// WithFaults returns cfg with the named fault-injection profile armed,
+// seeded for a reproducible campaign run.
+func WithFaults(cfg config.Config, profile string, seed uint64) config.Config {
+	cfg.Faults.Profile = profile
+	cfg.Faults.Seed = seed
+	return cfg
+}
+
+// Hardened returns cfg with the recovery controller tightened for campaign
+// runs: a short watchdog so injected stalls are detected quickly, and a
+// small deadlock budget so the degradation ladder is actually exercised.
+func Hardened(cfg config.Config) config.Config {
+	cfg.Recovery.WatchdogCycles = 4 * int64(cfg.MemLatency)
+	cfg.Recovery.DeadlockBudget = 4
+	cfg.Recovery.CooldownCommits = 20_000
+	return cfg
+}

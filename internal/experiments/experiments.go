@@ -25,6 +25,10 @@ type Options struct {
 	Parallel int // concurrent simulations
 	// Benchmarks to run; nil means the full SPEC stand-in suite.
 	Benchmarks []workload.Benchmark
+	// FaultProfile, when non-empty, arms the fault injector on every
+	// simulated machine (see internal/fault for the built-in profiles).
+	FaultProfile string
+	FaultSeed    uint64
 }
 
 // DefaultOptions returns experiment options sized for a complete
@@ -48,6 +52,9 @@ func (o Options) benches() []workload.Benchmark {
 func (o Options) apply(cfg config.Config) config.Config {
 	cfg.MaxInsts = o.Insts
 	cfg.Seed = o.Seed
+	if o.FaultProfile != "" {
+		cfg = core.WithFaults(cfg, o.FaultProfile, o.FaultSeed)
+	}
 	return cfg
 }
 

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mtvp/internal/config"
+	"mtvp/internal/core"
+	"mtvp/internal/fault"
+	"mtvp/internal/oracle"
+	"mtvp/internal/stats"
+	"mtvp/internal/workload"
+)
+
+// campaignBenches picks a small, representative workload pair for the fault
+// campaign: one pointer-chasing INT program (the MTVP sweet spot, so the
+// speculation machinery is actually exercised) and one FP stream program.
+// Checked runs are ~2x slower than bare ones, so the campaign does not sweep
+// the full suite.
+func campaignBenches(o Options) []workload.Benchmark {
+	if o.Benchmarks != nil {
+		return o.Benchmarks
+	}
+	var out []workload.Benchmark
+	for _, name := range []string{"mcf", "swim"} {
+		if b, err := workload.ByName(name); err == nil {
+			out = append(out, b)
+		}
+	}
+	if len(out) == 0 {
+		out = workload.All()[:1]
+	}
+	return out
+}
+
+// campaignMachines are the machines every fault profile is thrown at: the
+// degradation ladder's three rungs, so profiles are validated against the
+// configuration they degrade *to* as well as the one they start from.
+func campaignMachines(contexts int) []struct {
+	name string
+	cfg  config.Config
+} {
+	return []struct {
+		name string
+		cfg  config.Config
+	}{
+		{"baseline", core.Baseline()},
+		{"stvp", core.STVP(config.PredWangFranklin, config.SelILPPred)},
+		{"mtvp", core.MTVP(contexts, config.PredWangFranklin, config.SelILPPred)},
+	}
+}
+
+// campaignOutcome is the aggregate of one profile row across all of its
+// checked runs.
+type campaignOutcome struct {
+	injected uint64
+	breaks   uint64
+	unsticks uint64
+	degrade  uint64
+	restore  uint64
+	qclamp   uint64
+	qdisable uint64
+	clean    int
+	aborts   int
+}
+
+// FaultCampaign runs every built-in fault profile against the baseline,
+// STVP, and MTVP machines with the lockstep oracle checker armed, and
+// reports the robustness contract's observables: faults injected, recovery
+// interventions (deadlock breaks, queue unsticks, degradations,
+// restorations, quarantine actions), and whether each run finished
+// oracle-clean or aborted with a structured fault report. Any other outcome
+// — a divergence (wrong committed value), a hang (the driver's go test
+// -timeout guards that), or an unstructured error — fails the campaign.
+func FaultCampaign(o Options) ([]*stats.Table, error) {
+	profiles := fault.Profiles()
+	benches := campaignBenches(o)
+	machines := campaignMachines(4)
+
+	type cell struct {
+		profile, machine, bench int
+	}
+	type result struct {
+		st    *stats.Stats
+		abort *fault.Report
+		err   error
+	}
+	results := make(map[cell]result)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	jobs := make(chan cell)
+	workers := o.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				cfg := o.apply(machines[c.machine].cfg)
+				cfg = core.WithFaults(cfg, profiles[c.profile].Name, o.FaultSeed+uint64(c.bench)+1)
+				cfg = core.Hardened(cfg)
+				cfg.Check = true
+				b := benches[c.bench]
+				prog, image := b.Build(o.Seed)
+				res, err := core.Run(cfg, prog, image)
+				r := result{err: err}
+				var rep *fault.Report
+				switch {
+				case err == nil:
+					r.st, r.err = &res.Stats, nil
+				case errors.As(err, &rep):
+					// Structured abort: the machine gave up cleanly. The
+					// report carries the counters the run accumulated.
+					r.abort, r.err = rep, nil
+				case oracle.IsDivergence(err):
+					r.err = fmt.Errorf("fault campaign: profile %s on %s/%s committed a wrong value: %w",
+						profiles[c.profile].Name, machines[c.machine].name, b.Name, err)
+				default:
+					r.err = fmt.Errorf("fault campaign: profile %s on %s/%s: %w",
+						profiles[c.profile].Name, machines[c.machine].name, b.Name, err)
+				}
+				mu.Lock()
+				results[c] = r
+				mu.Unlock()
+			}
+		}()
+	}
+	for pi := range profiles {
+		for mi := range machines {
+			for bi := range benches {
+				jobs <- cell{pi, mi, bi}
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	t := &stats.Table{
+		Title: fmt.Sprintf("Fault campaign — %d profiles x {baseline, stvp, mtvp4} x %d benches, oracle-checked",
+			len(profiles), len(benches)),
+		Columns: []string{"injected", "breaks", "unstick", "degrade", "restore",
+			"qclamp", "qdisable", "clean", "abort"},
+	}
+	for pi, p := range profiles {
+		var agg campaignOutcome
+		for mi := range machines {
+			for bi := range benches {
+				r := results[cell{pi, mi, bi}]
+				if r.err != nil {
+					return nil, r.err
+				}
+				if rep := r.abort; rep != nil {
+					agg.aborts++
+					for _, n := range rep.Injected {
+						agg.injected += n
+					}
+					agg.breaks += rep.Breaks
+					agg.degrade += rep.Degradations
+					continue
+				}
+				agg.clean++
+				s := r.st
+				agg.injected += s.FaultsInjected
+				agg.breaks += s.DeadlockBreaks
+				agg.unsticks += s.RecoveryUnsticks
+				agg.degrade += s.Degradations
+				agg.restore += s.Restorations
+				agg.qclamp += s.QuarantineClamps
+				agg.qdisable += s.QuarantineDisables
+			}
+		}
+		t.Add(p.Name,
+			float64(agg.injected), float64(agg.breaks), float64(agg.unsticks),
+			float64(agg.degrade), float64(agg.restore),
+			float64(agg.qclamp), float64(agg.qdisable),
+			float64(agg.clean), float64(agg.aborts))
+	}
+	return []*stats.Table{t}, nil
+}

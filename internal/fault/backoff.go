@@ -1,0 +1,66 @@
+package fault
+
+// Backoff is the bounded retry budget behind the recovery controller's
+// deadlock breaks. Each break spends one unit of budget and doubles the
+// watchdog's patience (up to a cap), so a machine stuck in a break/re-stall
+// loop burns through its budget in bounded time instead of thrashing
+// forever. Sustained forward progress refills the budget and resets the
+// multiplier, so isolated stalls hours apart each get the full allowance.
+type Backoff struct {
+	budget  int   // remaining breaks before the controller escalates
+	initial int   // budget granted at construction / on refill
+	mult    int64 // current watchdog multiplier (power of two)
+	maxMult int64 // multiplier cap
+}
+
+// NewBackoff builds a budget of n breaks (n <= 0 selects the default of 8)
+// with watchdog multiplier capped at maxMult (<= 0 selects 8).
+func NewBackoff(n int, maxMult int64) *Backoff {
+	if n <= 0 {
+		n = 8
+	}
+	if maxMult <= 0 {
+		maxMult = 8
+	}
+	return &Backoff{budget: n, initial: n, mult: 1, maxMult: maxMult}
+}
+
+// Allow spends one unit of budget if any remains, doubling the multiplier.
+// It returns false once the budget is exhausted — the caller must escalate
+// (degrade speculation, or abort with a Report) rather than retry.
+func (b *Backoff) Allow() bool {
+	if b.budget <= 0 {
+		return false
+	}
+	b.budget--
+	if b.mult < b.maxMult {
+		b.mult *= 2
+	}
+	return true
+}
+
+// Multiplier returns the current watchdog patience multiplier (>= 1).
+func (b *Backoff) Multiplier() int64 {
+	if b == nil || b.mult < 1 {
+		return 1
+	}
+	return b.mult
+}
+
+// Remaining returns the unspent break budget.
+func (b *Backoff) Remaining() int { return b.budget }
+
+// Progress refills the budget and relaxes the multiplier after sustained
+// forward progress; the caller decides what "sustained" means (e.g. 10k
+// commits with no break).
+func (b *Backoff) Progress() {
+	b.budget = b.initial
+	b.mult = 1
+}
+
+// Reset restores the full budget and multiplier, used after an escalation
+// (degradation) so the degraded machine gets a fresh allowance.
+func (b *Backoff) Reset() {
+	b.budget = b.initial
+	b.mult = 1
+}

@@ -1,0 +1,84 @@
+package fault
+
+// Level is a rung on the per-context graceful-degradation ladder.
+type Level int
+
+// Degradation levels, most capable first.
+const (
+	// LevelFull allows the configured speculation mode (MTVP if built).
+	LevelFull Level = iota
+	// LevelSTVP caps the context at single-threaded value prediction:
+	// predictions may be followed but no speculative threads spawn.
+	LevelSTVP
+	// LevelNone runs the context non-speculatively.
+	LevelNone
+)
+
+// String returns the degradation level name.
+func (l Level) String() string {
+	switch l {
+	case LevelFull:
+		return "full"
+	case LevelSTVP:
+		return "stvp"
+	case LevelNone:
+		return "none"
+	}
+	return "level?"
+}
+
+// Ladder is one hardware context's graceful-degradation state: when the
+// recovery controller exhausts its deadlock-break budget it steps the
+// context down a rung (MTVP → STVP → baseline) rather than aborting, and a
+// cool-down of clean committed instructions earns each rung back.
+type Ladder struct {
+	level    Level
+	cooldown uint64 // commits of clean progress per restored rung
+	progress uint64 // commits since the last transition
+}
+
+// NewLadder builds a ladder that restores one rung per `cooldown` clean
+// commits (<= 0 selects the default of 50_000).
+func NewLadder(cooldown uint64) *Ladder {
+	if cooldown == 0 {
+		cooldown = 50_000
+	}
+	return &Ladder{cooldown: cooldown}
+}
+
+// Level returns the current rung (LevelFull for nil).
+func (l *Ladder) Level() Level {
+	if l == nil {
+		return LevelFull
+	}
+	return l.level
+}
+
+// Degrade steps down one rung, restarting the cool-down clock. It returns
+// false when already at LevelNone — nothing left to give up, so the caller
+// must abort with a structured Report instead.
+func (l *Ladder) Degrade() bool {
+	if l.level >= LevelNone {
+		return false
+	}
+	l.level++
+	l.progress = 0
+	return true
+}
+
+// Progress credits n clean commits toward restoration and returns true when
+// the cool-down elapsed and a rung was restored. The clock restarts on each
+// restoration, so climbing from LevelNone back to LevelFull takes two full
+// cool-downs.
+func (l *Ladder) Progress(n uint64) bool {
+	if l == nil || l.level == LevelFull {
+		return false
+	}
+	l.progress += n
+	if l.progress < l.cooldown {
+		return false
+	}
+	l.level--
+	l.progress = 0
+	return true
+}

@@ -1,0 +1,43 @@
+package fault
+
+import "fmt"
+
+// Report is the structured abort record the engine returns when its recovery
+// machinery is exhausted: the break budget is spent, every context is fully
+// degraded, and the pipeline still cannot make commit progress. It is the
+// "never hang" half of the robustness contract — a campaign run ends either
+// oracle-clean or with one of these, and callers (mtvpsim, the campaign
+// tests) can pick it out of the error chain with errors.As.
+type Report struct {
+	// Reason is a one-line description of the terminal condition.
+	Reason string
+	// Cycle is the simulated cycle at which the engine gave up.
+	Cycle int64
+	// Committed is the number of useful instructions retired before the
+	// abort.
+	Committed uint64
+	// Injected is the per-class count of injected faults (nil when the run
+	// had no injector).
+	Injected map[string]uint64
+	// Breaks is the number of deadlock-break recoveries attempted.
+	Breaks uint64
+	// Degradations is the number of ladder steps taken before giving up.
+	Degradations uint64
+	// Err is the underlying error, if the abort wrapped one.
+	Err error
+}
+
+// Error formats the report as a single diagnostic line.
+func (r *Report) Error() string {
+	msg := fmt.Sprintf(
+		"fault report: %s (cycle %d, committed %d, breaks %d, degradations %d, injected: %s)",
+		r.Reason, r.Cycle, r.Committed, r.Breaks, r.Degradations,
+		formatCounts(r.Injected))
+	if r.Err != nil {
+		msg += ": " + r.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (r *Report) Unwrap() error { return r.Err }

@@ -1,6 +1,7 @@
 package oracle
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -179,6 +180,15 @@ func (d *Divergence) Error() string {
 	b.WriteString("recent commits by hardware context:\n")
 	b.WriteString(d.Dump)
 	return strings.TrimRight(b.String(), "\n")
+}
+
+// IsDivergence reports whether err's chain contains an oracle *Divergence.
+// Callers distinguishing wrong-answer aborts (divergence) from exhausted
+// recovery (a fault report) — exit codes, campaign assertions — use this
+// rather than matching error strings.
+func IsDivergence(err error) bool {
+	var d *Divergence
+	return errors.As(err, &d)
 }
 
 // diffExec names the mismatching fields between a committed execution

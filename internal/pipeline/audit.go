@@ -125,6 +125,10 @@ func (e *Engine) auditScan() {
 			e.auditFail("T%d/%d executes against a frozen overlay", t.id, t.order)
 			return
 		}
+		if err := t.overlay.CheckChain(); err != nil {
+			e.auditFail("T%d/%d overlay chain corrupt: %v", t.id, t.order, err)
+			return
+		}
 		if prev, dup := overlays[t.overlay]; dup {
 			e.auditFail("T%d/%d and T%d/%d share a store-buffer overlay",
 				t.id, t.order, prev.id, prev.order)

@@ -52,6 +52,7 @@ func (e *Engine) commitOne(t *thread, u *uop) {
 	t.committed++
 	e.st.Committed++
 	e.lastProgress = e.now
+	e.noteCommitProgress()
 	if e.commitHook != nil {
 		e.commitHook(u)
 	}

@@ -87,6 +87,7 @@ func (e *Engine) resolveEvent(ev *vpEvent) {
 	case crit.DecideSTVP:
 		t := ev.load.thread
 		t.unverifiedSTVP--
+		e.noteOutcome(t, ev.correct)
 		if ev.correct {
 			e.st.VPCorrect++
 			return
@@ -127,6 +128,7 @@ func (e *Engine) resolveEvent(ev *vpEvent) {
 			if !ev.spawnOnly {
 				e.st.VPWrong++
 				e.noteWrongButPresent(ev)
+				e.noteOutcome(t, false)
 			}
 			for _, c := range ev.children {
 				if c.live {
@@ -145,6 +147,7 @@ func (e *Engine) resolveEvent(ev *vpEvent) {
 			if survivor != ev.children[0] {
 				e.st.MultiValueSaves++
 			}
+			e.noteOutcome(t, true)
 		}
 		e.st.Confirms++
 		for _, c := range ev.children {

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"mtvp/internal/crit"
+	"mtvp/internal/fault"
 	"mtvp/internal/isa"
 	"mtvp/internal/trace"
 )
@@ -80,18 +81,38 @@ func (e *Engine) tryDispatch(t *thread, u *uop) bool {
 		t.lastWriter[u.ex.Inst.Rd] = u
 	}
 	if isStore {
-		t.storeQ = append(t.storeQ, storeEntry{
-			addr: u.ex.Addr,
-			size: u.ex.Inst.Op.MemSize(),
-			u:    u,
-		})
-		e.noteStoreAlloc()
+		if e.injectFault(fault.StoreDrop) {
+			// Timing-level store-buffer entry lost: no forwarding to
+			// younger loads and no drain traffic. Functional state is
+			// untouched — the store's value already lives in the
+			// thread's overlay — so only timing suffers.
+		} else {
+			se := storeEntry{
+				addr: u.ex.Addr,
+				size: u.ex.Inst.Op.MemSize(),
+				u:    u,
+			}
+			if e.injectFault(fault.StoreCorrupt) {
+				// Corrupted address tag: forwarding matches and drain
+				// traffic hit the wrong line. Again timing-only — load
+				// values come from the functional layer.
+				se.addr ^= 1 + e.inj.Rand64()&63
+			}
+			t.storeQ = append(t.storeQ, se)
+			e.noteStoreAlloc()
+		}
 	}
 
 	// A followed single-thread prediction makes the load's destination
 	// speculatively available to consumers immediately.
 	if u.vp != nil && u.vp.mode == crit.DecideSTVP {
 		u.specReady = true
+	}
+
+	if e.injectFault(fault.IQStick) {
+		// Wedged issue-queue slot: the uop refuses to issue until the
+		// stick elapses or the recovery controller force-clears it.
+		u.stuckUntil = e.now + int64(e.inj.Profile().StickCycles)
 	}
 
 	u.state = stWaiting

@@ -8,6 +8,7 @@ import (
 	"mtvp/internal/cache"
 	"mtvp/internal/config"
 	"mtvp/internal/crit"
+	"mtvp/internal/fault"
 	"mtvp/internal/isa"
 	"mtvp/internal/mem"
 	"mtvp/internal/oracle"
@@ -63,6 +64,11 @@ type Engine struct {
 
 	commitHook func(u *uop) // test instrumentation; nil in normal runs
 	tracer     trace.Tracer // optional event tracer; nil in normal runs
+
+	// Robustness: the fault injector (nil-safe; nil when no profile is
+	// armed) and the recovery controller (always present).
+	inj *fault.Injector
+	rec *recovery
 
 	// Differential checking (cfg.Check): the lockstep oracle checker and
 	// the invariant auditor. Both nil/off in normal performance runs.
@@ -127,6 +133,16 @@ func New(cfg *config.Config, prog *isa.Program, memory *mem.Memory, st *stats.St
 	e.qCap[qInt] = cfg.IQSize
 	e.qCap[qFP] = cfg.FQSize
 	e.qCap[qMem] = cfg.MQSize
+
+	prof, err := fault.ByName(cfg.Faults.Profile)
+	if err != nil {
+		return nil, err
+	}
+	if !prof.Empty() {
+		e.inj = fault.NewInjector(prof, cfg.Faults.Seed)
+	}
+	// Quarantine clamps to twice the predictor's normal confidence bar.
+	e.rec = newRecovery(cfg, 2*vpred.BaseThreshold(cfg))
 
 	if cfg.Check {
 		// The checker clones the image before the engine can touch it;
@@ -219,10 +235,10 @@ func (e *Engine) liveByOrder() []*thread {
 }
 
 // Run simulates until the useful-instruction budget is exhausted, the
-// program halts, or the cycle cap is reached. It returns an error only for
-// internal deadlock (a bug), never for program behaviour.
+// program halts, or the cycle cap is reached. It returns an error only when
+// the machine cannot make progress (a *fault.Report after recovery is
+// exhausted) or a checked run diverges, never for program behaviour.
 func (e *Engine) Run() error {
-	watchdog := int64(4*e.cfg.MemLatency) + 50_000
 	for !e.finished {
 		e.now++
 		e.commit()
@@ -247,12 +263,15 @@ func (e *Engine) Run() error {
 		if uint64(e.now) >= e.cfg.MaxCycles {
 			break
 		}
-		if e.now-e.lastProgress > watchdog {
-			if e.breakDeadlock() {
+		// Commit-progress watchdog, with exponential backoff after each
+		// recovery so a break/re-stall loop terminates in bounded time.
+		if e.now-e.lastProgress > e.rec.watchdogBase*e.rec.backoff.Multiplier() {
+			if e.recoverStall() {
 				continue
 			}
-			return fmt.Errorf("pipeline: no commit progress since cycle %d (now %d): %s",
-				e.lastProgress, e.now, e.describeStall())
+			e.st.Cycles = uint64(e.now)
+			return e.faultReport(fmt.Sprintf("no commit progress since cycle %d (now %d): %s",
+				e.lastProgress, e.now, e.describeStall()))
 		}
 	}
 	e.st.Cycles = uint64(e.now)
@@ -282,8 +301,8 @@ func (e *Engine) Run() error {
 // parent can no longer dispatch the very load that would resolve the
 // speculation — circular wait, zero commits. Real designs bound speculative
 // resource occupancy; ours recovers by killing the youngest speculative
-// subtree (its queue slots free, the machine resumes) and lets the watchdog
-// fire for real if no speculation is left to blame.
+// subtree (its queue slots free, the machine resumes). It is one action of
+// the recovery controller (recover.go), which bounds and backs off retries.
 func (e *Engine) breakDeadlock() bool {
 	var victim *thread
 	for _, t := range e.liveByOrder() {
@@ -294,7 +313,6 @@ func (e *Engine) breakDeadlock() bool {
 	if victim == nil {
 		return false
 	}
-	e.st.DeadlockBreaks++
 	e.emitThread(trace.KKill, victim, "killed to break resource deadlock")
 	e.killSubtree(victim)
 	e.lastProgress = e.now

@@ -5,6 +5,7 @@ import (
 
 	"mtvp/internal/config"
 	"mtvp/internal/crit"
+	"mtvp/internal/fault"
 	"mtvp/internal/isa"
 	"mtvp/internal/trace"
 )
@@ -164,20 +165,54 @@ func (e *Engine) newUop(t *thread, ex isa.Exec) *uop {
 // the load the thread is about to execute, returning the event to attach to
 // the load's uop (nil when nothing is predicted or measured).
 func (e *Engine) vpDecide(t *thread, in isa.Inst) *vpEvent {
+	// The degradation ladder may have capped this context's speculation
+	// below the configured mode (recover.go).
+	mode := e.effectiveMode(t.id)
+	if mode == config.VPNone {
+		return nil
+	}
 	addr := t.ctx.EffAddr(in)
 	actual := t.ctx.Mem.Load(addr, in.Op.MemSize())
 	pcAddr := e.prog.InstAddr(t.ctx.PC)
 
 	e.st.VPLookups++
-	pr := e.vp.Lookup(pcAddr, actual)
+	lookupPC := pcAddr
+	if e.injectFault(fault.PredAlias) {
+		// Aliasing storm: the lookup indexes someone else's table entry.
+		// Training (by ev.pc) still uses the real PC, so the corrupted
+		// prediction competes with legitimately trained state.
+		lookupPC ^= 1 + e.inj.Rand64()%1023
+	}
+	pr := e.vp.Lookup(lookupPC, actual)
+	if pr.Valid && e.injectFault(fault.PredBitFlip) {
+		// Value-table soft error: one bit of the predicted value flips.
+		// It is followed like any prediction and caught at resolve.
+		pr.Value ^= 1 << (e.inj.Rand64() & 63)
+	}
 	if !e.cfg.VP.SpawnOnly {
 		if !pr.Valid || !pr.Confident {
 			return nil
 		}
 		e.st.VPConfident++
+
+		// Misprediction-storm quarantine: a clamped context only follows
+		// predictions well above the normal confidence bar; a disabled
+		// context follows none.
+		if q := e.quarantineFor(t); q != nil {
+			switch q.State() {
+			case fault.QDisabled:
+				e.st.QuarantineSuppressed++
+				return nil
+			case fault.QClamped:
+				if pr.Conf < e.rec.clampConf {
+					e.st.QuarantineSuppressed++
+					return nil
+				}
+			}
+		}
 	}
 
-	mtvpOK := e.cfg.VP.Mode == config.VPMTVP &&
+	mtvpOK := mode == config.VPMTVP &&
 		e.freeSlot() >= 0 &&
 		t.pendingSpawn == nil
 	level := e.hier.ProbeLevel(addr)
@@ -219,6 +254,15 @@ func (e *Engine) vpDecide(t *thread, in isa.Inst) *vpEvent {
 // the pre-load register state with the load destination overwritten by its
 // predicted value (or left dependent on the real load in spawn-only mode).
 func (e *Engine) spawn(t *thread, loadU *uop, ev *vpEvent) {
+	if e.injectFault(fault.SpawnLost) {
+		// The spawn event is lost in flight: no child is created and the
+		// parent proceeds as if the selector had declined, exactly like
+		// racing out of free contexts below.
+		ev.measureOnly = true
+		ev.mode = crit.DecideNone
+		e.st.SpawnDenied++
+		return
+	}
 	in := loadU.ex.Inst
 	values := []uint64{ev.predicted}
 	if e.cfg.VP.MultiValue && !ev.spawnOnly {
@@ -231,6 +275,12 @@ func (e *Engine) spawn(t *thread, loadU *uop, ev *vpEvent) {
 	}
 	if ev.spawnOnly {
 		values = []uint64{ev.actual}
+	}
+	if e.injectFault(fault.SpawnDup) {
+		// Duplicated spawn event: a second child chases the primary value
+		// and must lose the survivor selection at confirmation (or be
+		// dropped here if no context is free).
+		values = append(values, values[0])
 	}
 
 	// Fork the store-buffer overlay: the parent's current overlay is

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"sort"
 
+	"mtvp/internal/fault"
 	"mtvp/internal/isa"
 	"mtvp/internal/trace"
 )
@@ -18,7 +19,7 @@ func (e *Engine) issue() {
 	for q := queueKind(0); q < numQueues; q++ {
 		e.compactQueue(q)
 		for _, u := range e.waiting[q] {
-			if u.state == stWaiting && e.uopReady(u) {
+			if u.state == stWaiting && u.stuckUntil <= e.now && e.uopReady(u) {
 				ready = append(ready, u)
 			}
 		}
@@ -97,7 +98,13 @@ func (e *Engine) latencyOf(u *uop) int64 {
 		pcAddr := e.prog.InstAddr(u.ex.PC)
 		ready, lvl := e.hier.Load(pcAddr, u.ex.Addr, e.now)
 		u.hitLevel = lvl
-		return ready - e.now
+		lat := ready - e.now
+		if e.injectFault(fault.MemDelay) {
+			// Memory-system hiccup: the completion is late by a large
+			// constant, stressing the watchdog and resolve paths.
+			lat += int64(e.inj.Profile().MemDelayCycles)
+		}
+		return lat
 	case isa.ClassStore:
 		return 1
 	case isa.ClassIntMul:

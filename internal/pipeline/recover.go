@@ -1,0 +1,296 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"mtvp/internal/config"
+	"mtvp/internal/fault"
+	"mtvp/internal/trace"
+)
+
+// The recovery controller generalises the PR 1 deadlock watchdog into a
+// layered response to lost commit progress:
+//
+//  1. Bounded squash-and-retry. Each watchdog firing spends one unit of a
+//     refillable break budget and doubles the watchdog's patience
+//     (exponential backoff), then tries the cheapest repair first: clearing
+//     stuck issue-queue slots, else killing the youngest speculative
+//     subtree. Sustained commit progress refills the budget.
+//  2. Graceful degradation. When the budget is exhausted and the machine is
+//     still stuck, every hardware context steps down the speculation ladder
+//     (MTVP -> STVP -> non-speculative), all speculative state is flushed,
+//     and the budget is reset for the degraded machine. A cool-down of clean
+//     commits earns the levels back.
+//  3. Structured abort. A machine that cannot commit even with speculation
+//     fully disabled returns a *fault.Report instead of hanging — the
+//     campaign contract is "recover oracle-clean or abort structured".
+//
+// Orthogonally, a per-context misprediction-storm quarantine watches
+// resolved predictions and first clamps (higher confidence bar), then fully
+// disables, a context's use of the value predictor, rehabilitating it as the
+// storm passes.
+type recovery struct {
+	backoff *fault.Backoff
+	ladders []*fault.Ladder     // per hardware context slot
+	quars   []*fault.Quarantine // per hardware context slot; nil when off
+
+	watchdogBase      int64  // cycles without commits before intervening
+	clampConf         int    // confidence bar under QClamped
+	commitsSinceBreak uint64 // refills the break budget at progressRefill
+	degradeOff        bool
+}
+
+// progressRefill is the number of useful commits since the last watchdog
+// intervention after which the break budget refills: a machine making real
+// progress gets its full allowance back for the next incident.
+const progressRefill = 10_000
+
+func newRecovery(cfg *config.Config, clampConf int) *recovery {
+	base := cfg.Recovery.WatchdogCycles
+	if base == 0 {
+		base = int64(4*cfg.MemLatency) + 50_000
+	}
+	r := &recovery{
+		backoff:      fault.NewBackoff(cfg.Recovery.DeadlockBudget, 8),
+		ladders:      make([]*fault.Ladder, cfg.Contexts),
+		watchdogBase: base,
+		clampConf:    clampConf,
+		degradeOff:   cfg.Recovery.DegradeOff,
+	}
+	for i := range r.ladders {
+		r.ladders[i] = fault.NewLadder(cfg.Recovery.CooldownCommits)
+	}
+	if !cfg.Recovery.QuarantineOff {
+		r.quars = make([]*fault.Quarantine, cfg.Contexts)
+		for i := range r.quars {
+			r.quars[i] = fault.NewQuarantine()
+		}
+	}
+	return r
+}
+
+// emitSlot sends a context-slot-level recovery event to the tracer. Slot -1
+// marks events with no specific context (e.g. a global injection site).
+func (e *Engine) emitSlot(k trace.Kind, slot int, text string) {
+	if e.tracer == nil {
+		return
+	}
+	e.tracer.Emit(trace.Event{
+		Cycle:  e.now,
+		Kind:   k,
+		Thread: slot,
+		Order:  -1,
+		PC:     -1,
+		Text:   text,
+	})
+}
+
+// injectFault rolls one injection opportunity for fault class k, doing the
+// stats and trace bookkeeping on a hit. All injection sites go through here.
+func (e *Engine) injectFault(k fault.Kind) bool {
+	if !e.inj.Fire(k) {
+		return false
+	}
+	e.st.FaultsInjected++
+	switch k {
+	case fault.PredBitFlip:
+		e.st.FaultPredBitFlip++
+	case fault.PredAlias:
+		e.st.FaultPredAlias++
+	case fault.StoreDrop:
+		e.st.FaultStoreDrop++
+	case fault.StoreCorrupt:
+		e.st.FaultStoreCorrupt++
+	case fault.SpawnLost:
+		e.st.FaultSpawnLost++
+	case fault.SpawnDup:
+		e.st.FaultSpawnDup++
+	case fault.MemDelay:
+		e.st.FaultMemDelay++
+	case fault.IQStick:
+		e.st.FaultIQStick++
+	}
+	e.emitSlot(trace.KFault, -1, "injected "+k.String())
+	return true
+}
+
+// effectiveMode caps the configured VP mode by the context slot's current
+// degradation level.
+func (e *Engine) effectiveMode(slot int) config.VPMode {
+	mode := e.cfg.VP.Mode
+	switch e.rec.ladders[slot].Level() {
+	case fault.LevelSTVP:
+		if mode > config.VPSTVP {
+			mode = config.VPSTVP
+		}
+	case fault.LevelNone:
+		mode = config.VPNone
+	}
+	return mode
+}
+
+// quarantineFor returns the misprediction-storm detector of t's context
+// slot, or nil when quarantine is disabled.
+func (e *Engine) quarantineFor(t *thread) *fault.Quarantine {
+	if e.rec.quars == nil {
+		return nil
+	}
+	return e.rec.quars[t.id]
+}
+
+// noteOutcome feeds one resolved, followed prediction to the quarantine of
+// the predicting thread's context slot.
+func (e *Engine) noteOutcome(t *thread, correct bool) {
+	q := e.quarantineFor(t)
+	if q == nil {
+		return
+	}
+	if correct {
+		if q.OnCorrect() {
+			e.emitSlot(trace.KQuarantine, t.id, "relaxed to "+q.State().String())
+		}
+		return
+	}
+	if q.OnWrong() {
+		switch q.State() {
+		case fault.QClamped:
+			e.st.QuarantineClamps++
+		case fault.QDisabled:
+			e.st.QuarantineDisables++
+		}
+		e.emitSlot(trace.KQuarantine, t.id, "escalated to "+q.State().String())
+	}
+}
+
+// noteCommitProgress is called once per useful commit: it refills the break
+// budget after sustained progress, decays the quarantines, and walks every
+// degraded context slot back up the speculation ladder after its cool-down.
+func (e *Engine) noteCommitProgress() {
+	r := e.rec
+	r.commitsSinceBreak++
+	if r.commitsSinceBreak == progressRefill {
+		r.backoff.Progress()
+	}
+	for slot, l := range r.ladders {
+		if l.Progress(1) {
+			e.st.Restorations++
+			e.emitSlot(trace.KRestore, slot, "speculation restored to "+l.Level().String())
+		}
+		if r.quars != nil {
+			if q := r.quars[slot]; q.Tick() {
+				e.emitSlot(trace.KQuarantine, slot, "decayed to "+q.State().String())
+			}
+		}
+	}
+}
+
+// recoverStall is the watchdog's response to lost commit progress. It
+// returns false only when every recovery layer is exhausted — the caller
+// then aborts with a structured fault report.
+func (e *Engine) recoverStall() bool {
+	e.rec.commitsSinceBreak = 0
+	if e.rec.backoff.Allow() {
+		if e.unstickQueues() {
+			e.st.DeadlockBreaks++
+			e.lastProgress = e.now
+			return true
+		}
+		if e.breakDeadlock() {
+			e.st.DeadlockBreaks++
+			return true
+		}
+		// Budget allowed a break but there was nothing to unstick and no
+		// speculation to kill; retrying cannot help, so escalate.
+	}
+	if !e.rec.degradeOff && e.degradeAll() {
+		return true
+	}
+	return false
+}
+
+// unstickQueues clears every issue-queue slot wedged by an injected IQStick
+// fault, the cheapest recovery action: the instructions become schedulable
+// again without squashing any work.
+func (e *Engine) unstickQueues() bool {
+	n := 0
+	for q := queueKind(0); q < numQueues; q++ {
+		for _, u := range e.waiting[q] {
+			if u.state == stWaiting && u.stuckUntil > e.now {
+				u.stuckUntil = 0
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return false
+	}
+	e.st.RecoveryUnsticks += uint64(n)
+	e.emitSlot(trace.KRecover, -1, fmt.Sprintf("force-cleared %d stuck issue-queue slots", n))
+	return true
+}
+
+// degradeAll steps every hardware context down the speculation ladder until
+// its effective mode actually drops (on an STVP-configured machine the first
+// rung is a no-op), flushes all speculative state, and grants the degraded
+// machine a fresh break budget. It returns false when there was nothing
+// left to give up.
+func (e *Engine) degradeAll() bool {
+	if e.cfg.VP.Mode == config.VPNone {
+		return false
+	}
+	stepped := false
+	for slot, l := range e.rec.ladders {
+		before := e.effectiveMode(slot)
+		if before == config.VPNone {
+			continue
+		}
+		for l.Degrade() {
+			e.st.Degradations++
+			if e.effectiveMode(slot) != before {
+				break
+			}
+		}
+		stepped = true
+		e.emitSlot(trace.KDegrade, slot, "speculation degraded to "+l.Level().String())
+	}
+	if !stepped {
+		return false
+	}
+	// The degraded machine must restart from a clean, non-speculative
+	// state: clear wedged queue slots, kill all speculation, and refill
+	// the break budget.
+	e.unstickQueues()
+	e.killAllSpec()
+	e.rec.backoff.Reset()
+	e.lastProgress = e.now
+	return true
+}
+
+// killAllSpec kills every live speculative subtree, oldest first.
+func (e *Engine) killAllSpec() {
+	for {
+		var victim *thread
+		for _, t := range e.liveByOrder() {
+			if t.live && t.isSpec() {
+				victim = t
+				break
+			}
+		}
+		if victim == nil {
+			return
+		}
+		e.killSubtree(victim)
+	}
+}
+
+// faultReport builds the structured abort record for an unrecoverable run.
+func (e *Engine) faultReport(reason string) error {
+	return &fault.Report{
+		Reason:       reason,
+		Cycle:        e.now,
+		Committed:    e.st.Committed,
+		Injected:     e.inj.Counts(),
+		Breaks:       e.st.DeadlockBreaks,
+		Degradations: e.st.Degradations,
+	}
+}

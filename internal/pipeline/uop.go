@@ -78,6 +78,10 @@ type uop struct {
 	// Branch.
 	mispredicted bool
 
+	// Fault injection: an IQStick fault wedges the uop's queue slot until
+	// this cycle (0 = not stuck). The recovery controller may clear it.
+	stuckUntil int64
+
 	// Value prediction.
 	vp        *vpEvent // non-nil if this load drives a VP event or window
 	specReady bool     // STVP: dest usable by consumers before the load returns

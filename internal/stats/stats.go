@@ -53,7 +53,26 @@ type Stats struct {
 	STVPUsed        uint64 // single-thread predictions made (incl. fallback)
 	Reissues        uint64 // instructions re-executed by selective reissue
 	MultiValueSaves uint64 // events where a non-primary value was the right one
-	DeadlockBreaks  uint64 // speculative subtrees killed to restore commit progress
+	DeadlockBreaks  uint64 // recovery-controller deadlock breaks (unstick or subtree kill)
+
+	// Fault injection (internal/fault campaigns).
+	FaultsInjected    uint64 // total injected faults, all classes
+	FaultPredBitFlip  uint64 // predicted-value bit flips
+	FaultPredAlias    uint64 // predictor index aliasing storms
+	FaultStoreDrop    uint64 // dropped store-buffer entries
+	FaultStoreCorrupt uint64 // corrupted store-buffer address tags
+	FaultSpawnLost    uint64 // lost spawn events
+	FaultSpawnDup     uint64 // duplicated spawn events
+	FaultMemDelay     uint64 // delayed memory completions
+	FaultIQStick      uint64 // stuck issue-queue slots
+
+	// Recovery controller.
+	RecoveryUnsticks     uint64 // stuck issue-queue slots force-cleared
+	QuarantineClamps     uint64 // contexts entering confidence-clamp quarantine
+	QuarantineDisables   uint64 // contexts entering full predictor disable
+	QuarantineSuppressed uint64 // predictions suppressed by an active quarantine
+	Degradations         uint64 // ladder steps down (MTVP->STVP->none)
+	Restorations         uint64 // ladder steps back up after cool-down
 }
 
 // UsefulIPC returns committed useful instructions per cycle.
@@ -90,6 +109,17 @@ func (s *Stats) String() string {
 	if s.VPPredicted > 0 {
 		fmt.Fprintf(&b, " vp=%d vpAcc=%.3f spawns=%d confirms=%d kills=%d",
 			s.VPPredicted, s.VPAccuracy(), s.Spawns, s.Confirms, s.Kills)
+	}
+	if s.FaultsInjected > 0 {
+		fmt.Fprintf(&b, " faults=%d", s.FaultsInjected)
+	}
+	if s.DeadlockBreaks > 0 || s.Degradations > 0 {
+		fmt.Fprintf(&b, " breaks=%d degrade=%d restore=%d",
+			s.DeadlockBreaks, s.Degradations, s.Restorations)
+	}
+	if s.QuarantineClamps > 0 || s.QuarantineDisables > 0 {
+		fmt.Fprintf(&b, " qclamp=%d qdisable=%d qsupp=%d",
+			s.QuarantineClamps, s.QuarantineDisables, s.QuarantineSuppressed)
 	}
 	return b.String()
 }

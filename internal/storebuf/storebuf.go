@@ -16,7 +16,11 @@
 // separately by the pipeline; overlays carry functional state only.
 package storebuf
 
-import "mtvp/internal/isa"
+import (
+	"fmt"
+
+	"mtvp/internal/isa"
+)
 
 // Overlay is one speculative store buffer: a byte-granular write log over a
 // parent memory view. It implements isa.MemAccess.
@@ -182,6 +186,33 @@ func (o *Overlay) DrainTo(dst isa.MemAccess) {
 			dst.Store(a, 1, uint64(b))
 		}
 		chain[i].data = make(map[uint64]byte)
+	}
+}
+
+// CheckChain validates the structural invariants of the overlay chain above
+// o: every ancestor must be frozen with a positive reference count, and the
+// chain must bottom out at flat memory without a cycle. The pipeline's
+// invariant auditor runs it over each live thread's overlay so corruption of
+// the speculation tree (e.g. under fault campaigns) is caught as a structured
+// failure instead of a wrong value.
+func (o *Overlay) CheckChain() error {
+	seen := make(map[*Overlay]bool)
+	for cur := o; ; {
+		if seen[cur] {
+			return fmt.Errorf("storebuf: overlay chain cycle")
+		}
+		seen[cur] = true
+		if cur.refs <= 0 {
+			return fmt.Errorf("storebuf: overlay in live chain has %d refs", cur.refs)
+		}
+		if cur != o && !cur.frozen {
+			return fmt.Errorf("storebuf: interior overlay not frozen")
+		}
+		p, ok := cur.parent.(*Overlay)
+		if !ok {
+			return nil
+		}
+		cur = p
 	}
 }
 

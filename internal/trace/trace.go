@@ -27,6 +27,11 @@ const (
 	KConfirm
 	KKill
 	KPromote
+	KFault      // a fault was injected (internal/fault campaigns)
+	KRecover    // the recovery controller broke a stall (unstick/kill)
+	KQuarantine // a context's predictor quarantine level changed
+	KDegrade    // a context stepped down the speculation ladder
+	KRestore    // a context earned a speculation level back
 	numKinds
 )
 
@@ -35,6 +40,8 @@ var kindNames = [numKinds]string{
 	KCommit: "commit", KSquash: "squash", KReissue: "reissue",
 	KPredict: "predict", KSpawn: "spawn", KConfirm: "confirm",
 	KKill: "kill", KPromote: "promote",
+	KFault: "fault", KRecover: "recover", KQuarantine: "quarant",
+	KDegrade: "degrade", KRestore: "restore",
 }
 
 // String returns the event kind's short name.

@@ -56,6 +56,23 @@ func New(cfg *config.Config) Predictor {
 	}
 }
 
+// BaseThreshold returns the confidence threshold of the configured
+// predictor: the bar a prediction normally clears to be followed. The
+// pipeline's quarantine controller uses it to derive the stricter clamped
+// threshold applied to a context under misprediction-storm quarantine.
+func BaseThreshold(cfg *config.Config) int {
+	switch cfg.VP.Predictor {
+	case config.PredWangFranklin:
+		return cfg.VP.WF.Threshold
+	case config.PredDFCM, config.PredFCM:
+		return cfg.VP.DFCM.Threshold
+	case config.PredLastValue, config.PredStride:
+		return 12 // the fixed sizing New uses for these predictors
+	default:
+		return 0 // oracle: no meaningful confidence scale
+	}
+}
+
 // Oracle always predicts the correct value with maximum confidence. It is
 // the predictor of the §5.1 limit study.
 type Oracle struct{}
