@@ -11,9 +11,19 @@
 // The -faults flag arms a fault-injection profile (see internal/fault) on
 // every simulated machine of the selected experiment; `-exp robust` runs
 // the dedicated oracle-checked campaign over all built-in profiles.
+//
+// Long campaigns run on the supervised harness (internal/harness): -jobs
+// bounds the worker pool, -timeout and -stall cancel wedged cells, -retries
+// re-runs flaky ones, and -journal checkpoints every finished cell to a
+// JSONL file so an interrupted campaign (Ctrl-C drains cleanly; even a
+// SIGKILL loses only in-flight cells) can be completed with -resume.
+//
+// Exit codes: 0 success, 1 usage or experiment error, 4 one or more cells
+// exhausted their retries (failed job keys on stderr), 130 interrupted.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +33,7 @@ import (
 
 	"mtvp/internal/experiments"
 	"mtvp/internal/fault"
+	"mtvp/internal/harness"
 	"mtvp/internal/stats"
 	"mtvp/internal/workload"
 )
@@ -32,19 +43,55 @@ func main() {
 		exp      = flag.String("exp", "fig1", "experiment to regenerate (or 'all')")
 		insts    = flag.Uint64("insts", 200_000, "useful committed instructions per run")
 		seed     = flag.Uint64("seed", 1, "workload seed")
-		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent simulations")
+		jobs     = flag.Int("jobs", runtime.NumCPU(), "campaign worker pool size")
+		parallel = flag.Int("parallel", 0, "alias for -jobs (kept for compatibility)")
 		benchCSV = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
 		faults   = flag.String("faults", "", "fault-injection profile armed on every run (\"\" = none)")
 		fseed    = flag.Uint64("faultseed", 1, "fault injector seed")
+		timeout  = flag.Duration("timeout", 0, "per-cell wall-clock deadline (0 = none)")
+		stall    = flag.Duration("stall", 0, "cancel a cell whose simulated cycles stop advancing for this long (0 = off)")
+		retries  = flag.Int("retries", 1, "re-runs per failed or timed-out cell")
+		journal  = flag.String("journal", "", "JSONL checkpoint journal path (\"\" = no checkpointing)")
+		resume   = flag.String("resume", "", "resume from this journal: skip done cells, re-run failures")
+		quiet    = flag.Bool("quiet", false, "suppress per-event campaign progress on stderr")
 	)
 	flag.Parse()
 
 	opt := experiments.DefaultOptions()
 	opt.Insts = *insts
 	opt.Seed = *seed
-	opt.Parallel = *parallel
+	opt.Parallel = *jobs
+	if *parallel > 0 {
+		opt.Parallel = *parallel
+	}
 	opt.FaultProfile = *faults
 	opt.FaultSeed = *fseed
+	opt.Timeout = *timeout
+	opt.StallTimeout = *stall
+	opt.Retries = *retries
+	opt.Journal = *journal
+	opt.HandleSignals = true
+	opt.Summary = &harness.Summary{}
+	if *resume != "" {
+		if *journal != "" && *journal != *resume {
+			fmt.Fprintln(os.Stderr, "-journal and -resume name different files; -resume both reads and extends its journal")
+			os.Exit(1)
+		}
+		opt.Journal = *resume
+		opt.Resume = true
+	}
+	if !*quiet {
+		opt.OnEvent = func(ev harness.Event) {
+			switch ev.Kind {
+			case harness.EventRetry:
+				fmt.Fprintf(os.Stderr, "# retry %s (attempt %d): %s\n", ev.Key, ev.Attempt, ev.Err)
+			case harness.EventFail:
+				fmt.Fprintf(os.Stderr, "# FAIL  %s after %d attempts: %s\n", ev.Key, ev.Attempt, ev.Err)
+			case harness.EventDrain:
+				fmt.Fprintln(os.Stderr, "# interrupt: draining in-flight cells, journal will be flushed (interrupt again to cancel)")
+			}
+		}
+	}
 	if _, err := fault.ByName(*faults); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -97,8 +144,7 @@ func main() {
 		start := time.Now()
 		tables, err := e.run(opt)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
-			os.Exit(1)
+			exit(e.name, err, opt.Summary)
 		}
 		for _, t := range tables {
 			fmt.Println(t)
@@ -117,4 +163,29 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if opt.Summary.Total > 0 {
+		fmt.Println(opt.Summary.Table())
+	}
+}
+
+// exit reports an experiment failure with the harness's exit-code contract:
+// 4 when cells exhausted their retries (keys listed on stderr), 130 when the
+// campaign was interrupted, 1 otherwise.
+func exit(name string, err error, sum *harness.Summary) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+	if sum != nil && sum.Total > 0 {
+		fmt.Fprintln(os.Stderr, sum.Table())
+	}
+	var failed *harness.FailedError
+	switch {
+	case errors.As(err, &failed):
+		fmt.Fprintf(os.Stderr, "%d cells exhausted their retries:\n", len(failed.Failures))
+		for _, f := range failed.Failures {
+			fmt.Fprintf(os.Stderr, "  %s (%s after %d attempts): %s\n", f.Key, f.Kind, f.Attempts, f.Err)
+		}
+		os.Exit(4)
+	case errors.Is(err, harness.ErrInterrupted):
+		os.Exit(130)
+	}
+	os.Exit(1)
 }

@@ -4,30 +4,53 @@
 // Usage:
 //
 //	mtvpreport -o EXPERIMENTS.md -insts 150000
+//
+// The experiments run as supervised harness campaigns: -timeout/-stall
+// cancel wedged cells, -retries re-runs flaky ones, and -journal/-resume
+// checkpoint the campaign so an interrupted report generation can be
+// completed without re-simulating finished cells. The campaign summary
+// (cells completed/retried/failed/skipped, wall time) is printed to stderr.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 
 	"mtvp/internal/experiments"
+	"mtvp/internal/harness"
 )
 
 func main() {
 	var (
-		out      = flag.String("o", "EXPERIMENTS.md", "output file (- for stdout)")
-		insts    = flag.Uint64("insts", 150_000, "useful committed instructions per run")
-		seed     = flag.Uint64("seed", 1, "workload seed")
-		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent simulations")
+		out     = flag.String("o", "EXPERIMENTS.md", "output file (- for stdout)")
+		insts   = flag.Uint64("insts", 150_000, "useful committed instructions per run")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		jobs    = flag.Int("jobs", runtime.NumCPU(), "campaign worker pool size")
+		timeout = flag.Duration("timeout", 0, "per-cell wall-clock deadline (0 = none)")
+		stall   = flag.Duration("stall", 0, "cancel a cell whose simulated cycles stop advancing for this long (0 = off)")
+		retries = flag.Int("retries", 1, "re-runs per failed or timed-out cell")
+		journal = flag.String("journal", "", "JSONL checkpoint journal path (\"\" = no checkpointing)")
+		resume  = flag.String("resume", "", "resume from this journal: skip done cells, re-run failures")
 	)
 	flag.Parse()
 
 	opt := experiments.DefaultOptions()
 	opt.Insts = *insts
 	opt.Seed = *seed
-	opt.Parallel = *parallel
+	opt.Parallel = *jobs
+	opt.Timeout = *timeout
+	opt.StallTimeout = *stall
+	opt.Retries = *retries
+	opt.Journal = *journal
+	opt.HandleSignals = true
+	opt.Summary = &harness.Summary{}
+	if *resume != "" {
+		opt.Journal = *resume
+		opt.Resume = true
+	}
 
 	w := os.Stdout
 	if *out != "-" {
@@ -41,6 +64,22 @@ func main() {
 	}
 	if err := experiments.GenerateReport(opt, w); err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		if opt.Summary.Total > 0 {
+			fmt.Fprintln(os.Stderr, opt.Summary.Table())
+		}
+		var failed *harness.FailedError
+		switch {
+		case errors.As(err, &failed):
+			for _, f := range failed.Failures {
+				fmt.Fprintf(os.Stderr, "  %s\n", f)
+			}
+			os.Exit(4)
+		case errors.Is(err, harness.ErrInterrupted):
+			os.Exit(130)
+		}
 		os.Exit(1)
+	}
+	if opt.Summary.Total > 0 {
+		fmt.Fprintln(os.Stderr, opt.Summary.Table())
 	}
 }

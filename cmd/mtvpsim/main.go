@@ -5,6 +5,7 @@
 //
 //	mtvpsim -bench mcf -machine mtvp -contexts 4 -pred wf -sel ilp
 //	mtvpsim -bench mcf -machine mtvp -check -faults spawn-storm
+//	mtvpsim -bench mcf -deadline 30s   # cancel cooperatively if it wedges
 //	mtvpsim -list
 //
 // Exit codes: 0 on success, 1 on usage or generic simulation errors, 2 when
@@ -20,6 +21,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"mtvp/internal/config"
 	"mtvp/internal/core"
@@ -76,6 +78,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		faults    = fs.String("faults", "", "fault-injection profile (pred-flip, spawn-storm, stuck-iq, monsoon, ...; \"\" = none)")
 		faultSeed = fs.Uint64("faultseed", 1, "fault injector seed (campaigns are reproducible from profile+seed)")
 		watchdog  = fs.Int64("watchdog", 0, "recovery watchdog base in cycles (0 = default)")
+		deadline  = fs.Duration("deadline", 0, "wall-clock deadline; the engine is canceled at the next observer poll (0 = none)")
 		list      = fs.Bool("list", false, "list benchmarks and exit")
 		traceN    = fs.Uint64("trace", 0, "print the first N pipeline trace events to stderr")
 		traceKind = fs.String("tracekinds", "", "comma-separated event kinds to trace (spawn,confirm,kill,commit,fault,...)")
@@ -148,6 +151,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitErr
 	}
 
+	if *deadline > 0 {
+		// Cooperative wall-clock deadline: the engine polls the observer
+		// every ~1k cycles and stops with pipeline.ErrCanceled once the
+		// budget is spent — the same hook the campaign harness supervises
+		// sweeps through.
+		start := time.Now()
+		limit := *deadline
+		cfg.Observe = func(cycles, commits uint64) bool {
+			return time.Since(start) < limit
+		}
+	}
+
 	prog, image := bench.Build(*seed)
 	var tr trace.Tracer
 	if *traceN > 0 {
@@ -216,7 +231,7 @@ func parseKinds(csv string) ([]trace.Kind, error) {
 		"reissue": trace.KReissue, "predict": trace.KPredict, "spawn": trace.KSpawn,
 		"confirm": trace.KConfirm, "kill": trace.KKill, "promote": trace.KPromote,
 		"fault": trace.KFault, "recover": trace.KRecover, "quarant": trace.KQuarantine,
-		"degrade": trace.KDegrade, "restore": trace.KRestore,
+		"degrade": trace.KDegrade, "restore": trace.KRestore, "cancel": trace.KCancel,
 	}
 	var out []trace.Kind
 	for _, part := range strings.Split(csv, ",") {

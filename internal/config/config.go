@@ -300,6 +300,17 @@ type Config struct {
 	Check       bool
 	CheckWindow int
 
+	// Observe, when non-nil, is polled by the engine every ~1024 simulated
+	// cycles with the current cycle and useful-commit counts. Returning
+	// false cancels the run: the engine stops at the next poll and returns
+	// pipeline.ErrCanceled. Like Check and tracing it is observational —
+	// not part of the modelled machine — and it must be fast and must not
+	// block: the campaign harness (internal/harness) uses it to feed its
+	// simulated-cycle progress watchdog and to propagate context
+	// cancellation (deadlines, stall kills, SIGINT) into a running
+	// simulation.
+	Observe func(cycles, commits uint64) (keepRunning bool)
+
 	// Robustness: fault injection and the recovery controller.
 	Faults   FaultParams
 	Recovery RecoveryParams

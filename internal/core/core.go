@@ -12,6 +12,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"mtvp/internal/config"
@@ -40,6 +41,11 @@ type Result struct {
 
 // IPC returns the run's useful instructions per cycle.
 func (r *Result) IPC() float64 { return r.Stats.UsefulIPC() }
+
+// IsCanceled reports whether a run error means the simulation was canceled
+// through a cfg.Observe hook (the campaign harness's deadlines, stall
+// watchdog, or graceful shutdown) rather than failing on its own.
+func IsCanceled(err error) bool { return errors.Is(err, pipeline.ErrCanceled) }
 
 // Run simulates prog with its initial memory image on the machine described
 // by cfg. The engine takes ownership of the image: after a run that ends at

@@ -28,7 +28,7 @@ func claimOpts(names ...string) Options {
 
 func ipcOf(t *testing.T, o Options, b workload.Benchmark, cfg config.Config) float64 {
 	t.Helper()
-	st, err := o.run(b, cfg)
+	st, err := o.run(b, "claim", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,44 +1,69 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (§4–5). Each experiment builds the machine configurations it
-// compares, runs every benchmark on each (in parallel), and returns
-// formatted tables whose rows mirror the paper's: per-benchmark percent
-// speedup in useful IPC over the no-value-prediction baseline, with
-// geometric-mean average rows per suite.
+// compares, runs every benchmark on each as a supervised parallel campaign
+// (internal/harness), and returns formatted tables whose rows mirror the
+// paper's: per-benchmark percent speedup in useful IPC over the
+// no-value-prediction baseline, with geometric-mean average rows per suite.
+//
+// Sweep cells are harness jobs with stable keys ("fig1/mcf/mtvp4"), so a
+// campaign survives panics, hangs, and flaky cells, can be checkpointed to a
+// journal, and resumes after an interruption by re-running only what is
+// missing. Tables are always assembled in job-key order, never completion
+// order: two runs of the same sweep render byte-identical reports.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
-	"sync"
+	"time"
 
 	"mtvp/internal/config"
 	"mtvp/internal/core"
+	"mtvp/internal/harness"
 	"mtvp/internal/stats"
 	"mtvp/internal/workload"
 )
 
-// Options controls experiment scale. The zero value is not usable; call
-// DefaultOptions.
+// Options controls experiment scale and campaign supervision. The zero
+// value is not usable; call DefaultOptions.
 type Options struct {
 	Insts    uint64 // useful committed instructions per run
 	Seed     uint64
-	Parallel int // concurrent simulations
+	Parallel int // concurrent simulations (harness worker pool)
 	// Benchmarks to run; nil means the full SPEC stand-in suite.
 	Benchmarks []workload.Benchmark
 	// FaultProfile, when non-empty, arms the fault injector on every
 	// simulated machine (see internal/fault for the built-in profiles).
 	FaultProfile string
 	FaultSeed    uint64
+
+	// Campaign supervision (internal/harness).
+	Timeout      time.Duration // per-cell wall-clock deadline (0 = none)
+	StallTimeout time.Duration // cancel a cell whose simulated cycles stop advancing (0 = off)
+	Retries      int           // re-runs per failed or timed-out cell
+	Journal      string        // JSONL checkpoint path ("" = no checkpointing)
+	Resume       bool          // skip journaled-done cells, re-run failures
+	// HandleSignals installs the harness's graceful-shutdown handler
+	// (SIGINT drains workers and flushes the journal) around every sweep.
+	HandleSignals bool
+	// Summary, when non-nil, accumulates every sweep's campaign counters
+	// (completed/retried/failed/skipped cells, wall time) for reporting.
+	Summary *harness.Summary
+	// OnEvent, when non-nil, receives harness progress events (retries,
+	// failures) for logging.
+	OnEvent func(harness.Event)
 }
 
 // DefaultOptions returns experiment options sized for a complete
 // regeneration at moderate fidelity (~200k instructions per run, as a
-// SimPoint-style steady-state sample).
+// SimPoint-style steady-state sample), with one retry per flaky cell.
 func DefaultOptions() Options {
 	return Options{
 		Insts:    200_000,
 		Seed:     1,
 		Parallel: runtime.NumCPU(),
+		Retries:  1,
 	}
 }
 
@@ -58,71 +83,123 @@ func (o Options) apply(cfg config.Config) config.Config {
 	return cfg
 }
 
+// harnessConfig builds the campaign config for one named sweep. The
+// fingerprint guards resume: a journal written at different experiment
+// options refuses to mix with this campaign.
+func (o Options) harnessConfig(name string) harness.Config {
+	return harness.Config{
+		Name:          name,
+		Workers:       o.Parallel,
+		Timeout:       o.Timeout,
+		StallTimeout:  o.StallTimeout,
+		Retries:       o.Retries,
+		Journal:       o.Journal,
+		Resume:        o.Resume,
+		HandleSignals: o.HandleSignals,
+		Fingerprint: fmt.Sprintf("insts=%d seed=%d faults=%s faultseed=%d",
+			o.Insts, o.Seed, o.FaultProfile, o.FaultSeed),
+		OnEvent: o.OnEvent,
+	}
+}
+
+// mergeSummary folds one sweep's campaign summary into the accumulator.
+func (o Options) mergeSummary(c *harness.Summary) {
+	if o.Summary != nil {
+		o.Summary.Merge(c)
+	}
+}
+
+// supervised wires harness supervision into a machine config: the engine
+// beats the job's heartbeat with its simulated cycle count (feeding the
+// stall watchdog) and honours context cancellation (deadlines, shutdown).
+func supervised(ctx context.Context, hb *harness.Heartbeat, cfg config.Config) config.Config {
+	if ctx == nil {
+		return cfg
+	}
+	cfg.Observe = func(cycles, commits uint64) bool {
+		hb.Beat(cycles)
+		return ctx.Err() == nil
+	}
+	return cfg
+}
+
 // run simulates one benchmark on one machine and returns the statistics.
-func (o Options) run(b workload.Benchmark, cfg config.Config) (*stats.Stats, error) {
+// Failures carry the cell's full identity — benchmark and config preset —
+// which the harness's JobFailure records and retry logs rely on.
+func (o Options) run(b workload.Benchmark, preset string, cfg config.Config) (*stats.Stats, error) {
+	return o.runCtx(context.Background(), nil, b, preset, cfg)
+}
+
+// runCtx is run under harness supervision: ctx cancellation stops the
+// simulation at the next observer poll and hb receives simulated cycles.
+func (o Options) runCtx(ctx context.Context, hb *harness.Heartbeat, b workload.Benchmark, preset string, cfg config.Config) (*stats.Stats, error) {
 	prog, image := b.Build(o.Seed)
-	res, err := core.Run(o.apply(cfg), prog, image)
+	res, err := core.Run(supervised(ctx, hb, o.apply(cfg)), prog, image)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", b.Name, err)
+		return nil, fmt.Errorf("%s on %s: %w", b.Name, preset, err)
 	}
 	return &res.Stats, nil
 }
 
-// job is one (benchmark, machine) simulation in a parallel sweep.
-type job struct {
-	bench   int
-	machine int
-}
-
-// sweep runs every benchmark on the baseline plus each machine, returning
-// IPCs indexed [bench][machine]; index 0 is the baseline.
-func (o Options) sweep(benches []workload.Benchmark, machines []config.Config) ([][]float64, error) {
-	return o.sweepAgainst(core.Baseline(), benches, machines)
+// sweep runs every benchmark on the baseline plus each machine as one
+// harness campaign, returning IPCs indexed [bench][machine]; index 0 is the
+// baseline. name identifies the sweep ("fig1") and cols name the non-base
+// machines; together with the benchmark they form each cell's stable job
+// key ("fig1/mcf/mtvp4").
+func (o Options) sweep(name string, cols []string, benches []workload.Benchmark, machines []config.Config) ([][]float64, error) {
+	return o.sweepAgainst(name, cols, core.Baseline(), benches, machines)
 }
 
 // sweepAgainst is sweep with an explicit baseline machine (ablations that
 // change the substrate, e.g. disabling the prefetcher, compare against a
 // matching baseline).
-func (o Options) sweepAgainst(base config.Config, benches []workload.Benchmark, machines []config.Config) ([][]float64, error) {
+func (o Options) sweepAgainst(name string, cols []string, base config.Config, benches []workload.Benchmark, machines []config.Config) ([][]float64, error) {
 	cfgs := append([]config.Config{base}, machines...)
+	labels := append([]string{"base"}, cols...)
+	if len(labels) != len(cfgs) {
+		return nil, fmt.Errorf("%s: %d column labels for %d machines", name, len(cols), len(machines))
+	}
+
+	jobs := make([]harness.Job[float64], 0, len(benches)*len(cfgs))
+	for _, b := range benches {
+		for mi, cfg := range cfgs {
+			b, cfg, label := b, cfg, labels[mi]
+			jobs = append(jobs, harness.Job[float64]{
+				Key:  fmt.Sprintf("%s/%s/%s", name, b.Name, label),
+				Seed: o.Seed,
+				Run: func(ctx context.Context, hb *harness.Heartbeat) (float64, error) {
+					st, err := o.runCtx(ctx, hb, b, label, cfg)
+					if err != nil {
+						return 0, err
+					}
+					return st.UsefulIPC(), nil
+				},
+			})
+		}
+	}
+
+	camp, err := harness.Run(context.Background(), o.harnessConfig(name), jobs)
+	if camp != nil {
+		o.mergeSummary(camp.Summary)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Assemble the matrix in job-key order (the jobs slice), never in
+	// completion order: report rows must not depend on scheduling.
 	ipc := make([][]float64, len(benches))
 	for i := range ipc {
 		ipc[i] = make([]float64, len(cfgs))
 	}
-
-	jobs := make(chan job)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	workers := o.Parallel
-	if workers < 1 {
-		workers = 1
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				st, err := o.run(benches[j.bench], cfgs[j.machine])
-				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = err
-				}
-				if err == nil {
-					ipc[j.bench][j.machine] = st.UsefulIPC()
-				}
-				mu.Unlock()
-			}
-		}()
-	}
+	idx := 0
 	for bi := range benches {
 		for mi := range cfgs {
-			jobs <- job{bench: bi, machine: mi}
+			ipc[bi][mi] = camp.Results[jobs[idx].Key]
+			idx++
 		}
 	}
-	close(jobs)
-	wg.Wait()
-	return ipc, firstErr
+	return ipc, nil
 }
 
 // speedupTables converts a sweep into the paper's presentation: one table

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"mtvp/internal/harness"
 	"mtvp/internal/stats"
 
 	"mtvp/internal/workload"
@@ -179,6 +181,72 @@ func TestSweepParallelDeterminism(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// normalizeReport strips the trailing wall-time footer, the only line of a
+// report allowed to differ between two runs of the same experiments.
+func normalizeReport(t *testing.T, s string) string {
+	t.Helper()
+	i := strings.LastIndex(s, "---\nGenerated in ")
+	if i < 0 {
+		t.Fatalf("report missing its footer:\n%s", s)
+	}
+	return s[:i]
+}
+
+func TestReportByteIdenticalAcrossParallelRuns(t *testing.T) {
+	// Two parallel runs of the full report must be byte-identical: rows are
+	// assembled in job-key order, never completion order.
+	o := tinyOpts()
+	o.Parallel = 8
+	var a, b strings.Builder
+	if err := GenerateReport(o, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := GenerateReport(o, &b); err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := normalizeReport(t, a.String()), normalizeReport(t, b.String())
+	if ra != rb {
+		t.Errorf("two parallel report runs differ:\n--- first\n%s\n--- second\n%s", ra, rb)
+	}
+}
+
+func TestSweepJournalAndResume(t *testing.T) {
+	// A journaled sweep resumed from its own journal skips every cell and
+	// reproduces the identical tables.
+	journal := filepath.Join(t.TempDir(), "fig3.jsonl")
+	o := tinyOpts()
+	o.Journal = journal
+	o.Summary = &harness.Summary{}
+	t1, err := Fig3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := o.Summary.Completed
+
+	o.Resume = true
+	o.Summary = &harness.Summary{}
+	t2, err := Fig3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Summary.Skipped != ran || o.Summary.Completed != 0 {
+		t.Errorf("resume re-ran cells: first run completed %d, resume skipped %d / completed %d",
+			ran, o.Summary.Skipped, o.Summary.Completed)
+	}
+	for i := range t1 {
+		if t1[i].String() != t2[i].String() {
+			t.Errorf("resumed table %d differs:\n--- fresh\n%s\n--- resumed\n%s",
+				i, t1[i], t2[i])
+		}
+	}
+
+	// A journal written at different options must be refused, not mixed in.
+	o.Insts = o.Insts * 2
+	if _, err := Fig3(o); err == nil {
+		t.Error("resume accepted a journal written at different options")
 	}
 }
 

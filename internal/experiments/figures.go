@@ -47,7 +47,7 @@ func Fig1(o Options) ([]*stats.Table, error) {
 	}
 	cols := []string{"stvp", "mtvp2", "mtvp4", "mtvp8"}
 	benches := o.benches()
-	ipc, err := o.sweep(benches, machines)
+	ipc, err := o.sweep("fig1", cols, benches, machines)
 	if err != nil {
 		return nil, err
 	}
@@ -66,11 +66,11 @@ func Fig2(o Options) ([]*stats.Table, error) {
 		}
 		machines := []config.Config{core.STVPOracleLimit(), mk(2), mk(4), mk(8)}
 		benches := o.benches()
-		ipc, err := o.sweep(benches, machines)
+		cols := []string{"stvp", "mtvp2", "mtvp4", "mtvp8"}
+		ipc, err := o.sweep(fmt.Sprintf("fig2-lat%d", lat), cols, benches, machines)
 		if err != nil {
 			return nil, err
 		}
-		cols := []string{"stvp", "mtvp2", "mtvp4", "mtvp8"}
 		per := speedupTables("", cols, benches, ipc)
 		avg := averagesOnly(fmt.Sprintf("Figure 2: spawn latency %d cycles", lat), cols, per)
 		out = append(out, avg)
@@ -105,7 +105,7 @@ func StoreBufferSweep(o Options) (*stats.Table, error) {
 			SideTableLen: 1 << 20, SideEvery: 96, SideDominant: 96,
 			Iters: 1 << 20,
 		}))
-	ipc, err := o.sweep(benches, machines)
+	ipc, err := o.sweep("sb", cols, benches, machines)
 	if err != nil {
 		return nil, err
 	}
@@ -124,7 +124,7 @@ func Fig3(o Options) ([]*stats.Table, error) {
 	}
 	cols := []string{"stvp", "mtvp2", "mtvp4", "mtvp8"}
 	benches := o.benches()
-	ipc, err := o.sweep(benches, machines)
+	ipc, err := o.sweep("fig3", cols, benches, machines)
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +142,7 @@ func DFCMCompare(o Options) ([]*stats.Table, error) {
 	}
 	cols := []string{"stvp-wf", "stvp-dfcm", "mtvp4-wf", "mtvp4-dfcm"}
 	benches := o.benches()
-	ipc, err := o.sweep(benches, machines)
+	ipc, err := o.sweep("dfcm", cols, benches, machines)
 	if err != nil {
 		return nil, err
 	}
@@ -162,7 +162,7 @@ func Fig4(o Options) ([]*stats.Table, error) {
 	}
 	cols := []string{"stvp", "mtvp4-sfp", "mtvp4-nostall", "mtvp8-sfp", "mtvp8-nostall"}
 	benches := o.benches()
-	ipc, err := o.sweep(benches, machines)
+	ipc, err := o.sweep("fig4", cols, benches, machines)
 	if err != nil {
 		return nil, err
 	}
@@ -184,7 +184,7 @@ func Fig5(o Options) ([]*stats.Table, error) {
 			if b.Suite != suite {
 				continue
 			}
-			st, err := o.run(b, cfg)
+			st, err := o.run(b, "mtvp8-wf", cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -210,7 +210,7 @@ func MultiValue(o Options) ([]*stats.Table, error) {
 	}
 	cols := []string{"mtvp8-1val", "mv-2val", "mv-3val"}
 	benches := o.benches()
-	ipc, err := o.sweep(benches, machines)
+	ipc, err := o.sweep("multival", cols, benches, machines)
 	if err != nil {
 		return nil, err
 	}
@@ -228,7 +228,7 @@ func Fig6(o Options) ([]*stats.Table, error) {
 	}
 	cols := []string{"wide-window", "best-mtvp", "spawn-only"}
 	benches := o.benches()
-	ipc, err := o.sweep(benches, machines)
+	ipc, err := o.sweep("fig6", cols, benches, machines)
 	if err != nil {
 		return nil, err
 	}
@@ -252,7 +252,7 @@ func PrefetchAblation(o Options) ([]*stats.Table, error) {
 	}
 	cols := []string{"stvp", "mtvp8"}
 	benches := o.benches()
-	ipc, err := o.sweepAgainst(base, benches, machines)
+	ipc, err := o.sweepAgainst("prefetch", cols, base, benches, machines)
 	if err != nil {
 		return nil, err
 	}
@@ -272,7 +272,7 @@ func StoreBufferOrg(o Options) ([]*stats.Table, error) {
 	}
 	cols := []string{"private-128", "unified-512", "unified-128"}
 	benches := o.benches()
-	ipc, err := o.sweep(benches, machines)
+	ipc, err := o.sweep("sborg", cols, benches, machines)
 	if err != nil {
 		return nil, err
 	}
@@ -295,7 +295,7 @@ func SelectorCompare(o Options) ([]*stats.Table, error) {
 	}
 	cols := []string{"ilp-pred", "l3-oracle", "always"}
 	benches := o.benches()
-	ipc, err := o.sweep(benches, machines)
+	ipc, err := o.sweep("selector", cols, benches, machines)
 	if err != nil {
 		return nil, err
 	}

@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"sync"
 
 	"mtvp/internal/config"
 	"mtvp/internal/core"
 	"mtvp/internal/fault"
+	"mtvp/internal/harness"
 	"mtvp/internal/oracle"
 	"mtvp/internal/stats"
 	"mtvp/internal/workload"
@@ -51,6 +52,20 @@ func campaignMachines(contexts int) []struct {
 	}
 }
 
+// campaignCell is one checked run's journaled outcome: either finished
+// oracle-clean with the recovery counters it accumulated, or aborted with a
+// structured fault report (whose counters are carried over).
+type campaignCell struct {
+	Abort    bool   `json:"abort"`
+	Injected uint64 `json:"injected"`
+	Breaks   uint64 `json:"breaks"`
+	Unsticks uint64 `json:"unsticks"`
+	Degrade  uint64 `json:"degrade"`
+	Restore  uint64 `json:"restore"`
+	Qclamp   uint64 `json:"qclamp"`
+	Qdisable uint64 `json:"qdisable"`
+}
+
 // campaignOutcome is the aggregate of one profile row across all of its
 // checked runs.
 type campaignOutcome struct {
@@ -65,78 +80,100 @@ type campaignOutcome struct {
 	aborts   int
 }
 
+func (a *campaignOutcome) add(c campaignCell) {
+	a.injected += c.Injected
+	a.breaks += c.Breaks
+	a.unsticks += c.Unsticks
+	a.degrade += c.Degrade
+	a.restore += c.Restore
+	a.qclamp += c.Qclamp
+	a.qdisable += c.Qdisable
+	if c.Abort {
+		a.aborts++
+	} else {
+		a.clean++
+	}
+}
+
 // FaultCampaign runs every built-in fault profile against the baseline,
-// STVP, and MTVP machines with the lockstep oracle checker armed, and
-// reports the robustness contract's observables: faults injected, recovery
-// interventions (deadlock breaks, queue unsticks, degradations,
-// restorations, quarantine actions), and whether each run finished
-// oracle-clean or aborted with a structured fault report. Any other outcome
-// — a divergence (wrong committed value), a hang (the driver's go test
-// -timeout guards that), or an unstructured error — fails the campaign.
+// STVP, and MTVP machines with the lockstep oracle checker armed, as one
+// supervised harness campaign, and reports the robustness contract's
+// observables: faults injected, recovery interventions (deadlock breaks,
+// queue unsticks, degradations, restorations, quarantine actions), and
+// whether each run finished oracle-clean or aborted with a structured fault
+// report. Any other outcome — a divergence (wrong committed value), a hang
+// (the harness deadline and stall watchdog guard those), or an unstructured
+// error — fails its cell; divergences are marked permanent so the harness
+// does not waste retries reproducing a deterministic wrong value.
 func FaultCampaign(o Options) ([]*stats.Table, error) {
 	profiles := fault.Profiles()
 	benches := campaignBenches(o)
 	machines := campaignMachines(4)
 
-	type cell struct {
-		profile, machine, bench int
-	}
-	type result struct {
-		st    *stats.Stats
-		abort *fault.Report
-		err   error
-	}
-	results := make(map[cell]result)
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	jobs := make(chan cell)
-	workers := o.Parallel
-	if workers < 1 {
-		workers = 1
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for c := range jobs {
-				cfg := o.apply(machines[c.machine].cfg)
-				cfg = core.WithFaults(cfg, profiles[c.profile].Name, o.FaultSeed+uint64(c.bench)+1)
-				cfg = core.Hardened(cfg)
-				cfg.Check = true
-				b := benches[c.bench]
-				prog, image := b.Build(o.Seed)
-				res, err := core.Run(cfg, prog, image)
-				r := result{err: err}
-				var rep *fault.Report
-				switch {
-				case err == nil:
-					r.st, r.err = &res.Stats, nil
-				case errors.As(err, &rep):
-					// Structured abort: the machine gave up cleanly. The
-					// report carries the counters the run accumulated.
-					r.abort, r.err = rep, nil
-				case oracle.IsDivergence(err):
-					r.err = fmt.Errorf("fault campaign: profile %s on %s/%s committed a wrong value: %w",
-						profiles[c.profile].Name, machines[c.machine].name, b.Name, err)
-				default:
-					r.err = fmt.Errorf("fault campaign: profile %s on %s/%s: %w",
-						profiles[c.profile].Name, machines[c.machine].name, b.Name, err)
-				}
-				mu.Lock()
-				results[c] = r
-				mu.Unlock()
-			}
-		}()
-	}
-	for pi := range profiles {
-		for mi := range machines {
-			for bi := range benches {
-				jobs <- cell{pi, mi, bi}
+	var jobs []harness.Job[campaignCell]
+	for _, p := range profiles {
+		for _, m := range machines {
+			for bi, b := range benches {
+				p, m, b, bi := p, m, b, bi
+				jobs = append(jobs, harness.Job[campaignCell]{
+					Key:  fmt.Sprintf("robust/%s/%s/%s", p.Name, m.name, b.Name),
+					Seed: o.FaultSeed + uint64(bi) + 1,
+					Run: func(ctx context.Context, hb *harness.Heartbeat) (campaignCell, error) {
+						cfg := o.apply(m.cfg)
+						cfg = core.WithFaults(cfg, p.Name, o.FaultSeed+uint64(bi)+1)
+						cfg = core.Hardened(cfg)
+						cfg.Check = true
+						cfg = supervised(ctx, hb, cfg)
+						prog, image := b.Build(o.Seed)
+						res, err := core.Run(cfg, prog, image)
+						var rep *fault.Report
+						switch {
+						case err == nil:
+							s := &res.Stats
+							return campaignCell{
+								Injected: s.FaultsInjected,
+								Breaks:   s.DeadlockBreaks,
+								Unsticks: s.RecoveryUnsticks,
+								Degrade:  s.Degradations,
+								Restore:  s.Restorations,
+								Qclamp:   s.QuarantineClamps,
+								Qdisable: s.QuarantineDisables,
+							}, nil
+						case errors.As(err, &rep):
+							// Structured abort: the machine gave up cleanly.
+							// The report carries the counters the run
+							// accumulated.
+							c := campaignCell{
+								Abort:   true,
+								Breaks:  rep.Breaks,
+								Degrade: rep.Degradations,
+							}
+							for _, n := range rep.Injected {
+								c.Injected += n
+							}
+							return c, nil
+						case oracle.IsDivergence(err):
+							// Deterministic: retrying reproduces it exactly.
+							return campaignCell{}, harness.Permanent(fmt.Errorf(
+								"fault campaign: profile %s on %s/%s committed a wrong value: %w",
+								p.Name, m.name, b.Name, err))
+						default:
+							return campaignCell{}, fmt.Errorf("fault campaign: profile %s on %s/%s: %w",
+								p.Name, m.name, b.Name, err)
+						}
+					},
+				})
 			}
 		}
 	}
-	close(jobs)
-	wg.Wait()
+
+	camp, err := harness.Run(context.Background(), o.harnessConfig("robust"), jobs)
+	if camp != nil {
+		o.mergeSummary(camp.Summary)
+	}
+	if err != nil {
+		return nil, err
+	}
 
 	t := &stats.Table{
 		Title: fmt.Sprintf("Fault campaign — %d profiles x {baseline, stvp, mtvp4} x %d benches, oracle-checked",
@@ -144,32 +181,12 @@ func FaultCampaign(o Options) ([]*stats.Table, error) {
 		Columns: []string{"injected", "breaks", "unstick", "degrade", "restore",
 			"qclamp", "qdisable", "clean", "abort"},
 	}
-	for pi, p := range profiles {
+	// Rows aggregate per profile in job-key order, never completion order.
+	for _, p := range profiles {
 		var agg campaignOutcome
-		for mi := range machines {
-			for bi := range benches {
-				r := results[cell{pi, mi, bi}]
-				if r.err != nil {
-					return nil, r.err
-				}
-				if rep := r.abort; rep != nil {
-					agg.aborts++
-					for _, n := range rep.Injected {
-						agg.injected += n
-					}
-					agg.breaks += rep.Breaks
-					agg.degrade += rep.Degradations
-					continue
-				}
-				agg.clean++
-				s := r.st
-				agg.injected += s.FaultsInjected
-				agg.breaks += s.DeadlockBreaks
-				agg.unsticks += s.RecoveryUnsticks
-				agg.degrade += s.Degradations
-				agg.restore += s.Restorations
-				agg.qclamp += s.QuarantineClamps
-				agg.qdisable += s.QuarantineDisables
+		for _, m := range machines {
+			for _, b := range benches {
+				agg.add(camp.Results[fmt.Sprintf("robust/%s/%s/%s", p.Name, m.name, b.Name)])
 			}
 		}
 		t.Add(p.Name,
@@ -178,5 +195,6 @@ func FaultCampaign(o Options) ([]*stats.Table, error) {
 			float64(agg.qclamp), float64(agg.qdisable),
 			float64(agg.clean), float64(agg.aborts))
 	}
+	t.SortRows()
 	return []*stats.Table{t}, nil
 }

@@ -1,0 +1,210 @@
+package harness
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The interruption tests re-exec this test binary as a helper process
+// running a slow journaled campaign, kill it mid-sweep (SIGKILL for the
+// crash case, SIGINT for the graceful-drain case), then resume from the
+// journal in-process and require the resumed campaign's report to be
+// byte-identical to an uninterrupted run's.
+
+const (
+	helperEnv    = "MTVP_HARNESS_HELPER"
+	helperJrnEnv = "MTVP_HARNESS_JOURNAL"
+	helperSigEnv = "MTVP_HARNESS_SIGNALS"
+)
+
+// helperJobs is the deterministic slow sweep both processes run: every cell
+// beats while "simulating", sleeps ~120ms, and returns a value derived only
+// from its index.
+func helperJobs() []Job[int] {
+	var jobs []Job[int]
+	for i := 0; i < 16; i++ {
+		i := i
+		jobs = append(jobs, Job[int]{
+			Key:  fmt.Sprintf("sweep/cell-%02d", i),
+			Seed: uint64(i),
+			Run: func(ctx context.Context, hb *Heartbeat) (int, error) {
+				for tick := uint64(1); tick <= 12; tick++ {
+					hb.Beat(tick * 1024)
+					select {
+					case <-ctx.Done():
+						return 0, ctx.Err()
+					case <-time.After(10 * time.Millisecond):
+					}
+				}
+				return i*31 + 7, nil
+			},
+		})
+	}
+	return jobs
+}
+
+// report renders campaign results sorted by job key — never by completion
+// order — so two runs of the same sweep are byte-comparable.
+func report(c *Campaign[int]) string {
+	keys := make([]string, 0, len(c.Results))
+	for k := range c.Results {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s = %d\n", k, c.Results[k])
+	}
+	return b.String()
+}
+
+// TestHelperSlowCampaign is not a real test: it is the body of the helper
+// process the interruption tests spawn. Guarded by an env var so the
+// normal test run skips it.
+func TestHelperSlowCampaign(t *testing.T) {
+	if os.Getenv(helperEnv) != "1" {
+		t.Skip("helper process body; spawned by the interruption tests")
+	}
+	cfg := Config{
+		Name:          "helper",
+		Workers:       2,
+		Journal:       os.Getenv(helperJrnEnv),
+		Resume:        true,
+		HandleSignals: os.Getenv(helperSigEnv) == "1",
+	}
+	_, err := Run(context.Background(), cfg, helperJobs())
+	if err != nil && !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("helper campaign: %v", err)
+	}
+	fmt.Println("HELPER-EXITED-CLEANLY")
+}
+
+// spawnHelper starts the helper process and returns it plus its journal path.
+func spawnHelper(t *testing.T, handleSignals bool) (*exec.Cmd, string) {
+	t.Helper()
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "campaign.jsonl")
+	cmd := exec.Command(os.Args[0], "-test.run", "TestHelperSlowCampaign$", "-test.v")
+	sig := "0"
+	if handleSignals {
+		sig = "1"
+	}
+	cmd.Env = append(os.Environ(),
+		helperEnv+"=1", helperJrnEnv+"="+journal, helperSigEnv+"="+sig)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("spawning helper: %v", err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+	})
+	return cmd, journal
+}
+
+// waitForDone polls the journal until at least n cells are recorded done
+// (the helper is mid-sweep with real completed work to lose).
+func waitForDone(t *testing.T, journal string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if countDone(journal) >= n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("helper never journaled %d done cells", n)
+}
+
+func countDone(journal string) int {
+	f, err := os.Open(journal)
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	n := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if strings.Contains(sc.Text(), `"status":"done"`) {
+			n++
+		}
+	}
+	return n
+}
+
+// uninterruptedReport runs the same sweep start-to-finish with no journal.
+func uninterruptedReport(t *testing.T) string {
+	t.Helper()
+	camp, err := Run(context.Background(), Config{Workers: 4}, helperJobs())
+	if err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+	return report(camp)
+}
+
+// TestSIGKILLThenResumeMatchesUninterrupted is the acceptance criterion: a
+// campaign killed with SIGKILL mid-sweep and relaunched with resume produces
+// the same report as a run that was never interrupted.
+func TestSIGKILLThenResumeMatchesUninterrupted(t *testing.T) {
+	cmd, journal := spawnHelper(t, false)
+	waitForDone(t, journal, 3)
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no cleanup runs
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	doneBefore := countDone(journal)
+	camp, err := Run(context.Background(),
+		Config{Name: "helper", Workers: 4, Journal: journal, Resume: true}, helperJobs())
+	if err != nil {
+		t.Fatalf("resumed campaign: %v", err)
+	}
+	if camp.Summary.Skipped != doneBefore {
+		t.Errorf("resume skipped %d cells, journal had %d done", camp.Summary.Skipped, doneBefore)
+	}
+	if camp.Summary.Skipped+camp.Summary.Completed != 16 {
+		t.Errorf("resume did not cover the sweep: %+v", camp.Summary)
+	}
+	if got, want := report(camp), uninterruptedReport(t); got != want {
+		t.Errorf("resumed report differs from uninterrupted run:\n--- resumed\n%s--- uninterrupted\n%s", got, want)
+	}
+}
+
+// TestSIGINTDrainsAndResumes: the graceful-shutdown handler lets in-flight
+// cells finish, flushes the journal, and exits cleanly; resume completes
+// the sweep with the identical report.
+func TestSIGINTDrainsAndResumes(t *testing.T) {
+	cmd, journal := spawnHelper(t, true)
+	waitForDone(t, journal, 2)
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("helper did not exit cleanly after SIGINT: %v\n%s", err, cmd.Stdout)
+	}
+
+	camp, err := Run(context.Background(),
+		Config{Name: "helper", Workers: 4, Journal: journal, Resume: true}, helperJobs())
+	if err != nil {
+		t.Fatalf("resumed campaign: %v", err)
+	}
+	if camp.Summary.Skipped == 0 {
+		t.Error("nothing was drained to the journal before the SIGINT exit")
+	}
+	if got, want := report(camp), uninterruptedReport(t); got != want {
+		t.Errorf("resumed report differs from uninterrupted run:\n--- resumed\n%s--- uninterrupted\n%s", got, want)
+	}
+}

@@ -1,0 +1,171 @@
+package harness
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The journal is a JSONL checkpoint stream: one header line per campaign
+// (appended each time a process opens the file) and one record line per
+// finished cell. Records are appended and fsynced as cells complete, so an
+// interruption — SIGINT, crash, SIGKILL — loses at most the in-flight
+// cells; a torn final line from a mid-write kill is tolerated on load. On
+// resume, the latest record per key wins: "done" cells are skipped and
+// their results reused, "failed" cells re-run.
+
+const (
+	kindHeader = "campaign"
+	kindCell   = "cell"
+
+	statusDone   = "done"
+	statusFailed = "failed"
+)
+
+// record is one journal line.
+type record struct {
+	Kind string `json:"kind"`
+
+	// Header fields.
+	Campaign    string `json:"campaign,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+
+	// Cell fields.
+	Key       string          `json:"key,omitempty"`
+	Status    string          `json:"status,omitempty"`
+	Attempts  int             `json:"attempts,omitempty"`
+	Seed      uint64          `json:"seed,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+	FailKind  FailKind        `json:"fail_kind,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Stack     string          `json:"stack,omitempty"`
+	ElapsedMS int64           `json:"elapsed_ms,omitempty"`
+}
+
+// loadJournal reads a journal for resume, returning the latest record per
+// cell key. A missing file is an empty (fresh) campaign. A header whose
+// fingerprint differs from fingerprint (both non-empty) is an error: the
+// journal belongs to a campaign run with different options.
+func loadJournal(path, fingerprint string) (map[string]*record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]*record{}, nil
+		}
+		return nil, fmt.Errorf("harness: resume: %w", err)
+	}
+	defer f.Close()
+
+	out := map[string]*record{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn tail line from a mid-write kill: ignore. (Torn lines
+			// can only be last — writes are line-atomic under the journal
+			// mutex — so anything unparseable is the kill point.)
+			continue
+		}
+		switch rec.Kind {
+		case kindHeader:
+			if fingerprint != "" && rec.Fingerprint != "" && rec.Fingerprint != fingerprint {
+				return nil, fmt.Errorf("harness: resume: journal %s was written with different options (%q, want %q)",
+					path, rec.Fingerprint, fingerprint)
+			}
+		case kindCell:
+			if rec.Key != "" {
+				r := rec
+				out[rec.Key] = &r
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("harness: resume: reading %s: %w", path, err)
+	}
+	return out, nil
+}
+
+// journal appends checkpoint records. All methods are nil-safe so callers
+// can thread an unconfigured journal through unconditionally; writes are
+// serialized by the campaign mutex.
+type journal struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+// openJournal opens (creating if needed) the journal for appending and
+// writes the campaign header.
+func openJournal(path, name, fingerprint string) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("harness: journal: %w", err)
+	}
+	j := &journal{f: f, w: bufio.NewWriter(f)}
+	j.append(record{Kind: kindHeader, Campaign: name, Fingerprint: fingerprint})
+	return j, nil
+}
+
+// append marshals one record, writes it as a line, and syncs: a checkpoint
+// that is not durable is not a checkpoint.
+func (j *journal) append(rec record) {
+	if j == nil {
+		return
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return // results are plain data types; marshal failure means no checkpoint, not no result
+	}
+	j.w.Write(b)
+	j.w.WriteByte('\n')
+	j.w.Flush()
+	j.f.Sync()
+}
+
+// done checkpoints a completed cell with its JSON-encoded result.
+func (j *journal) done(key string, attempts int, result any) {
+	if j == nil {
+		return
+	}
+	raw, err := json.Marshal(result)
+	if err != nil {
+		return
+	}
+	j.append(record{Kind: kindCell, Key: key, Status: statusDone, Attempts: attempts, Result: raw})
+}
+
+// failed checkpoints a cell that exhausted its attempts.
+func (j *journal) failed(f JobFailure) {
+	if j == nil {
+		return
+	}
+	j.append(record{
+		Kind: kindCell, Key: f.Key, Status: statusFailed,
+		Attempts: f.Attempts, Seed: f.Seed,
+		FailKind: f.Kind, Error: f.Err, Stack: f.Stack,
+	})
+}
+
+// flush forces buffered records to disk.
+func (j *journal) flush() {
+	if j == nil {
+		return
+	}
+	j.w.Flush()
+	j.f.Sync()
+}
+
+// close flushes and closes the journal file.
+func (j *journal) close() {
+	if j == nil {
+		return
+	}
+	j.flush()
+	j.f.Close()
+}

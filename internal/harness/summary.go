@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"time"
+
+	"mtvp/internal/stats"
+)
+
+// Summary aggregates one campaign's health: how many cells completed, were
+// skipped on resume, retried, failed, or were never run (drained by a
+// shutdown), plus attempt-level counters and wall time. Sweeps merge their
+// summaries so a whole experiment run reports one table.
+type Summary struct {
+	Name string
+
+	Total     int // cells submitted
+	Completed int // cells that finished and were journaled
+	Skipped   int // cells resumed from the journal
+	Retried   int // cells that needed at least one retry
+	Failed    int // cells that exhausted their retry budget
+	Unrun     int // cells never dispatched (shutdown drain)
+
+	Attempts int // total attempts, first tries included
+	Retries  int // attempts beyond each cell's first
+	Timeouts int // attempts canceled by the wall-clock deadline
+	Stalls   int // attempts canceled by the progress watchdog
+	Panics   int // attempts that panicked (captured)
+
+	Wall time.Duration
+
+	// Failures holds the structured records of failed cells, sorted by key.
+	Failures []JobFailure
+}
+
+// Merge folds another campaign's summary into s (wall times add — sweeps
+// within an experiment run back to back).
+func (s *Summary) Merge(o *Summary) {
+	if o == nil {
+		return
+	}
+	if s.Name == "" {
+		s.Name = o.Name
+	}
+	s.Total += o.Total
+	s.Completed += o.Completed
+	s.Skipped += o.Skipped
+	s.Retried += o.Retried
+	s.Failed += o.Failed
+	s.Unrun += o.Unrun
+	s.Attempts += o.Attempts
+	s.Retries += o.Retries
+	s.Timeouts += o.Timeouts
+	s.Stalls += o.Stalls
+	s.Panics += o.Panics
+	s.Wall += o.Wall
+	s.Failures = append(s.Failures, o.Failures...)
+}
+
+// AddTo accumulates the campaign counters into a stats.Stats, the same
+// reporting path the simulated machine's counters use.
+func (s *Summary) AddTo(st *stats.Stats) {
+	st.HarnessCompleted += uint64(s.Completed)
+	st.HarnessSkipped += uint64(s.Skipped)
+	st.HarnessRetried += uint64(s.Retried)
+	st.HarnessRetries += uint64(s.Retries)
+	st.HarnessFailed += uint64(s.Failed)
+	st.HarnessPanics += uint64(s.Panics)
+	st.HarnessTimeouts += uint64(s.Timeouts)
+	st.HarnessStalls += uint64(s.Stalls)
+}
+
+// Table renders the summary as the campaign health table the CLIs print.
+func (s *Summary) Table() *stats.Table {
+	title := "Campaign summary"
+	if s.Name != "" {
+		title += " — " + s.Name
+	}
+	title += " (wall " + s.Wall.Round(time.Millisecond).String() + ")"
+	t := &stats.Table{
+		Title: title,
+		Columns: []string{"completed", "retried", "failed", "skipped", "unrun",
+			"attempts", "timeouts", "stalls", "panics"},
+	}
+	t.Add("cells",
+		float64(s.Completed), float64(s.Retried), float64(s.Failed),
+		float64(s.Skipped), float64(s.Unrun),
+		float64(s.Attempts), float64(s.Timeouts), float64(s.Stalls), float64(s.Panics))
+	return t
+}

@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Heartbeat is a job's progress channel to the stall watchdog: the job (or
+// the simulator, through its config.Observe hook) calls Beat with a
+// monotonically advancing progress value — simulated cycles, in the sweeps —
+// and the watchdog cancels the attempt when the value stops changing. A nil
+// Heartbeat is safe to beat.
+type Heartbeat struct {
+	v     atomic.Uint64
+	beats atomic.Uint64
+}
+
+// Beat reports progress. The value only has to change while the job is
+// making progress; simulated-cycle counts are the natural choice.
+func (h *Heartbeat) Beat(progress uint64) {
+	if h == nil {
+		return
+	}
+	h.v.Store(progress)
+	h.beats.Add(1)
+}
+
+// Load returns the last beaten progress value.
+func (h *Heartbeat) Load() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.v.Load()
+}
+
+// watch starts the simulated-cycle progress watchdog: once the job has
+// beaten at least once, if the heartbeat value then fails to advance for
+// stall, onStall fires (the runner cancels the attempt's context with
+// ErrStalled). Jobs that never beat are left to the wall-clock deadline.
+// The returned func stops the watchdog. A stall of 0 disables it.
+func watch(ctx context.Context, hb *Heartbeat, stall time.Duration, onStall func()) (stop func()) {
+	if stall <= 0 {
+		return func() {}
+	}
+	poll := stall / 8
+	if poll < time.Millisecond {
+		poll = time.Millisecond
+	}
+	stopCh := make(chan struct{})
+	go func() {
+		t := time.NewTicker(poll)
+		defer t.Stop()
+		var (
+			armed      bool
+			last       uint64
+			lastChange time.Time
+		)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-stopCh:
+				return
+			case now := <-t.C:
+				if hb.beats.Load() == 0 {
+					continue // not armed until the first beat
+				}
+				cur := hb.Load()
+				if !armed || cur != last {
+					armed, last, lastChange = true, cur, now
+					continue
+				}
+				if now.Sub(lastChange) > stall {
+					onStall()
+					return
+				}
+			}
+		}
+	}()
+	return func() { close(stopCh) }
+}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -238,6 +239,17 @@ func (e *Engine) liveByOrder() []*thread {
 // program halts, or the cycle cap is reached. It returns an error only when
 // the machine cannot make progress (a *fault.Report after recovery is
 // exhausted) or a checked run diverges, never for program behaviour.
+// ErrCanceled is returned by Run when a cfg.Observe hook asks the engine to
+// stop: the campaign harness canceled the run (deadline, progress-watchdog
+// stall kill, or shutdown). The run's statistics are valid up to the cycle
+// of cancellation.
+var ErrCanceled = errors.New("run canceled by observer")
+
+// observeMask sets how often a cfg.Observe hook is polled: every 1024
+// simulated cycles, frequent enough that cancellation lands within
+// microseconds of wall time but far off the per-cycle hot path.
+const observeMask = 1<<10 - 1
+
 func (e *Engine) Run() error {
 	for !e.finished {
 		e.now++
@@ -262,6 +274,19 @@ func (e *Engine) Run() error {
 		}
 		if uint64(e.now) >= e.cfg.MaxCycles {
 			break
+		}
+		if e.cfg.Observe != nil && e.now&observeMask == 0 {
+			if !e.cfg.Observe(uint64(e.now), e.st.Committed) {
+				e.st.Cycles = uint64(e.now)
+				if e.tracer != nil {
+					e.tracer.Emit(trace.Event{
+						Cycle: e.now, Kind: trace.KCancel,
+						Thread: -1, PC: -1,
+						Text: "canceled by observer",
+					})
+				}
+				return ErrCanceled
+			}
 		}
 		// Commit-progress watchdog, with exponential backoff after each
 		// recovery so a break/re-stall loop terminates in bounded time.

@@ -32,6 +32,7 @@ const (
 	KQuarantine // a context's predictor quarantine level changed
 	KDegrade    // a context stepped down the speculation ladder
 	KRestore    // a context earned a speculation level back
+	KCancel     // the run was canceled by an external observer (harness watchdog)
 	numKinds
 )
 
@@ -41,7 +42,7 @@ var kindNames = [numKinds]string{
 	KPredict: "predict", KSpawn: "spawn", KConfirm: "confirm",
 	KKill: "kill", KPromote: "promote",
 	KFault: "fault", KRecover: "recover", KQuarantine: "quarant",
-	KDegrade: "degrade", KRestore: "restore",
+	KDegrade: "degrade", KRestore: "restore", KCancel: "cancel",
 }
 
 // String returns the event kind's short name.
