@@ -18,6 +18,10 @@
 // JSONL file so an interrupted campaign (Ctrl-C drains cleanly; even a
 // SIGKILL loses only in-flight cells) can be completed with -resume.
 //
+// -metrics-addr serves live campaign telemetry while the run is up: job
+// counters and simulated cycle rates on /metrics (Prometheus text format),
+// liveness on /healthz, and the standard /debug/pprof surface.
+//
 // Exit codes: 0 success, 1 usage or experiment error, 4 one or more cells
 // exhausted their retries (failed job keys on stderr), 130 interrupted.
 package main
@@ -35,6 +39,7 @@ import (
 	"mtvp/internal/fault"
 	"mtvp/internal/harness"
 	"mtvp/internal/stats"
+	"mtvp/internal/telemetry"
 	"mtvp/internal/workload"
 )
 
@@ -54,6 +59,7 @@ func main() {
 		journal  = flag.String("journal", "", "JSONL checkpoint journal path (\"\" = no checkpointing)")
 		resume   = flag.String("resume", "", "resume from this journal: skip done cells, re-run failures")
 		quiet    = flag.Bool("quiet", false, "suppress per-event campaign progress on stderr")
+		metrics  = flag.String("metrics-addr", "", "serve live campaign telemetry on this host:port (/metrics, /healthz, /debug/pprof; \"\" = off)")
 	)
 	flag.Parse()
 
@@ -91,6 +97,35 @@ func main() {
 				fmt.Fprintln(os.Stderr, "# interrupt: draining in-flight cells, journal will be flushed (interrupt again to cancel)")
 			}
 		}
+	}
+	if *metrics != "" {
+		reg := telemetry.NewRegistry()
+		campaign := telemetry.NewCampaign(reg)
+		srv, err := telemetry.NewServer(*metrics, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "# telemetry: %s/metrics (also /healthz, /debug/pprof)\n", srv.URL())
+		opt.Progress = campaign.Progress
+		opt.OnEvent = teeEvents(opt.OnEvent, func(ev harness.Event) {
+			switch ev.Kind {
+			case harness.EventStart:
+				campaign.JobsStarted.Inc()
+				campaign.InFlight.Add(1)
+			case harness.EventDone:
+				campaign.JobsDone.Inc()
+				campaign.InFlight.Add(-1)
+			case harness.EventFail:
+				campaign.JobsFailed.Inc()
+				campaign.InFlight.Add(-1)
+			case harness.EventRetry:
+				campaign.JobsRetried.Inc()
+			case harness.EventSkip:
+				campaign.JobsSkipped.Inc()
+			}
+		})
 	}
 	if _, err := fault.ByName(*faults); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -165,6 +200,18 @@ func main() {
 	}
 	if opt.Summary.Total > 0 {
 		fmt.Println(opt.Summary.Table())
+	}
+}
+
+// teeEvents fans one harness event stream to several consumers (the stderr
+// progress log and the live telemetry bridge).
+func teeEvents(fns ...func(harness.Event)) func(harness.Event) {
+	return func(ev harness.Event) {
+		for _, fn := range fns {
+			if fn != nil {
+				fn(ev)
+			}
+		}
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"mtvp/internal/core"
 	"mtvp/internal/fault"
 	"mtvp/internal/oracle"
+	"mtvp/internal/telemetry"
 	"mtvp/internal/trace"
 	"mtvp/internal/workload"
 )
@@ -82,6 +83,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		list      = fs.Bool("list", false, "list benchmarks and exit")
 		traceN    = fs.Uint64("trace", 0, "print the first N pipeline trace events to stderr")
 		traceKind = fs.String("tracekinds", "", "comma-separated event kinds to trace (spawn,confirm,kill,commit,fault,...)")
+		traceJSON = fs.String("trace-json", "", "write the full pipeline event stream as JSONL to FILE (-tracekinds filters it too)")
+		perfetto  = fs.String("perfetto", "", "write a Chrome trace-event (Perfetto/about:tracing) timeline to FILE")
+		series    = fs.String("series", "", "write a cycle-bucketed time series to FILE (.csv = CSV, else JSONL)")
+		seriesN   = fs.Int64("series-every", telemetry.DefaultSampleEvery, "time-series bucket width in cycles")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitErr
@@ -164,23 +169,77 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	prog, image := bench.Build(*seed)
-	var tr trace.Tracer
-	if *traceN > 0 {
-		w := &trace.Writer{W: stderr, Max: *traceN}
-		if *traceKind != "" {
-			kinds, err := parseKinds(*traceKind)
-			if err != nil {
-				fmt.Fprintln(stderr, err)
-				return exitErr
-			}
-			w.Kinds = kinds
+
+	var kinds []trace.Kind
+	if *traceKind != "" {
+		var err error
+		if kinds, err = parseKinds(*traceKind); err != nil {
+			fmt.Fprintln(stderr, err)
+			return exitErr
 		}
-		tr = w
 	}
-	res, err := core.RunTraced(cfg, prog, image, tr)
-	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return exitCode(err)
+
+	var tracers []trace.Tracer
+	if *traceN > 0 {
+		tracers = append(tracers, &trace.Writer{W: stderr, Max: *traceN, Kinds: kinds})
+	}
+	var jsonSink *telemetry.JSONLSink
+	if *traceJSON != "" {
+		f, err := os.Create(*traceJSON)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return exitErr
+		}
+		defer f.Close()
+		jsonSink = telemetry.NewJSONLSink(f)
+		jsonSink.Kinds = kinds
+		tracers = append(tracers, jsonSink)
+	}
+	var perfettoSink *telemetry.PerfettoSink
+	if *perfetto != "" {
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return exitErr
+		}
+		defer f.Close()
+		perfettoSink = telemetry.NewPerfettoSink(f)
+		tracers = append(tracers, perfettoSink)
+	}
+
+	ins := core.Instruments{Tracer: trace.Multi(tracers...)}
+	var sampler *telemetry.Sampler
+	if *series != "" {
+		sampler = telemetry.NewSampler(*seriesN)
+	}
+	if sampler != nil || perfettoSink != nil || jsonSink != nil {
+		// The machine probe is cheap; attach it whenever any sink wants
+		// per-cycle data, so a lone -perfetto still gets counter tracks.
+		ins.Machine = telemetry.NewMachine(telemetry.NewRegistry(), sampler)
+	}
+
+	res, runErr := core.RunInstrumented(cfg, prog, image, ins)
+
+	// Sinks are flushed even when the run failed: a canceled or faulted
+	// run's partial timeline is exactly what you want to look at.
+	if jsonSink != nil {
+		if err := jsonSink.Close(); err != nil {
+			fmt.Fprintf(stderr, "trace-json: %v\n", err)
+		}
+	}
+	if perfettoSink != nil {
+		if err := perfettoSink.Close(); err != nil {
+			fmt.Fprintf(stderr, "perfetto: %v\n", err)
+		}
+	}
+	if sampler != nil {
+		if err := writeSeries(*series, sampler); err != nil {
+			fmt.Fprintf(stderr, "series: %v\n", err)
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintln(stderr, runErr)
+		return exitCode(runErr)
 	}
 
 	s := &res.Stats
@@ -224,20 +283,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return exitOK
 }
 
-func parseKinds(csv string) ([]trace.Kind, error) {
-	names := map[string]trace.Kind{
-		"fetch": trace.KFetch, "disp": trace.KDispatch, "issue": trace.KIssue,
-		"done": trace.KComplete, "commit": trace.KCommit, "squash": trace.KSquash,
-		"reissue": trace.KReissue, "predict": trace.KPredict, "spawn": trace.KSpawn,
-		"confirm": trace.KConfirm, "kill": trace.KKill, "promote": trace.KPromote,
-		"fault": trace.KFault, "recover": trace.KRecover, "quarant": trace.KQuarantine,
-		"degrade": trace.KDegrade, "restore": trace.KRestore, "cancel": trace.KCancel,
+// writeSeries writes the sampler's time series to path: CSV when the name
+// ends in .csv, JSONL otherwise.
+func writeSeries(path string, s *telemetry.Sampler) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
 	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		if err := s.WriteCSV(f); err != nil {
+			return err
+		}
+	} else {
+		if err := s.WriteJSONL(f); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}
+
+func parseKinds(csv string) ([]trace.Kind, error) {
 	var out []trace.Kind
 	for _, part := range strings.Split(csv, ",") {
-		k, ok := names[strings.TrimSpace(part)]
+		k, ok := trace.KindByName(strings.TrimSpace(part))
 		if !ok {
-			return nil, fmt.Errorf("unknown trace kind %q", part)
+			return nil, fmt.Errorf("unknown trace kind %q (known: %s)",
+				part, strings.Join(trace.KindNames(), ","))
 		}
 		out = append(out, k)
 	}

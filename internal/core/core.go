@@ -20,6 +20,7 @@ import (
 	"mtvp/internal/mem"
 	"mtvp/internal/pipeline"
 	"mtvp/internal/stats"
+	"mtvp/internal/telemetry"
 	"mtvp/internal/trace"
 )
 
@@ -58,16 +59,38 @@ func Run(cfg config.Config, prog *isa.Program, image *mem.Memory) (*Result, erro
 // (see internal/trace). Tracing is observational: results are identical
 // with or without it.
 func RunTraced(cfg config.Config, prog *isa.Program, image *mem.Memory, tr trace.Tracer) (*Result, error) {
+	return RunInstrumented(cfg, prog, image, Instruments{Tracer: tr})
+}
+
+// Instruments bundles a run's observational attachments: an event tracer
+// (human-readable writer, JSONL sink, Perfetto exporter, or a trace.Multi
+// of several) and a telemetry machine probe feeding a metrics registry and
+// cycle-bucketed time-series sampler. All of it is strictly observational —
+// results are identical with or without any attachment (test-enforced).
+type Instruments struct {
+	Tracer  trace.Tracer
+	Machine *telemetry.Machine
+}
+
+// RunInstrumented is Run with observational instruments attached.
+func RunInstrumented(cfg config.Config, prog *isa.Program, image *mem.Memory, ins Instruments) (*Result, error) {
 	st := &stats.Stats{}
 	eng, err := pipeline.New(&cfg, prog, image, st)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	if tr != nil {
-		eng.SetTracer(tr)
+	if ins.Tracer != nil {
+		eng.SetTracer(ins.Tracer)
 	}
-	if err := eng.Run(); err != nil {
-		return nil, fmt.Errorf("core: %s: %w", prog.Name, err)
+	if ins.Machine != nil {
+		eng.SetTelemetry(ins.Machine)
+	}
+	runErr := eng.Run()
+	// The final partial sample bucket is flushed even for canceled or
+	// aborted runs: their statistics are valid up to the final cycle.
+	eng.FinishTelemetry()
+	if runErr != nil {
+		return nil, fmt.Errorf("core: %s: %w", prog.Name, runErr)
 	}
 	if eng.Halted() {
 		eng.Finalize()

@@ -53,6 +53,12 @@ type Options struct {
 	// OnEvent, when non-nil, receives harness progress events (retries,
 	// failures) for logging.
 	OnEvent func(harness.Event)
+	// Progress, when non-nil, receives per-job simulated-work deltas
+	// (cycles, useful commits) from every supervised engine's observer
+	// poll. Called from worker goroutines; implementations must be
+	// goroutine-safe. Campaign telemetry (mtvpbench -metrics-addr) derives
+	// live cycle rates from it.
+	Progress func(dcycles, dcommits uint64)
 }
 
 // DefaultOptions returns experiment options sized for a complete
@@ -111,14 +117,25 @@ func (o Options) mergeSummary(c *harness.Summary) {
 
 // supervised wires harness supervision into a machine config: the engine
 // beats the job's heartbeat with its simulated cycle count (feeding the
-// stall watchdog) and honours context cancellation (deadlines, shutdown).
-func supervised(ctx context.Context, hb *harness.Heartbeat, cfg config.Config) config.Config {
-	if ctx == nil {
+// stall watchdog), streams per-job progress deltas to o.Progress, and
+// honours context cancellation (deadlines, shutdown).
+func (o Options) supervised(ctx context.Context, hb *harness.Heartbeat, cfg config.Config) config.Config {
+	if ctx == nil && o.Progress == nil {
 		return cfg
 	}
+	// The observer runs on one engine in one worker goroutine, so the
+	// last-seen counters need no locking; only o.Progress itself must be
+	// goroutine-safe across workers.
+	var lastCycles, lastCommits uint64
 	cfg.Observe = func(cycles, commits uint64) bool {
-		hb.Beat(cycles)
-		return ctx.Err() == nil
+		if hb != nil {
+			hb.Beat(cycles)
+		}
+		if o.Progress != nil {
+			o.Progress(cycles-lastCycles, commits-lastCommits)
+			lastCycles, lastCommits = cycles, commits
+		}
+		return ctx == nil || ctx.Err() == nil
 	}
 	return cfg
 }
@@ -134,7 +151,7 @@ func (o Options) run(b workload.Benchmark, preset string, cfg config.Config) (*s
 // simulation at the next observer poll and hb receives simulated cycles.
 func (o Options) runCtx(ctx context.Context, hb *harness.Heartbeat, b workload.Benchmark, preset string, cfg config.Config) (*stats.Stats, error) {
 	prog, image := b.Build(o.Seed)
-	res, err := core.Run(supervised(ctx, hb, o.apply(cfg)), prog, image)
+	res, err := core.Run(o.supervised(ctx, hb, o.apply(cfg)), prog, image)
 	if err != nil {
 		return nil, fmt.Errorf("%s on %s: %w", b.Name, preset, err)
 	}
@@ -150,6 +167,14 @@ func (o Options) sweep(name string, cols []string, benches []workload.Benchmark,
 	return o.sweepAgainst(name, cols, core.Baseline(), benches, machines)
 }
 
+// cellResult is one sweep cell's journaled outcome: the headline IPC plus
+// the run's full statistics snapshot, so a campaign journal doubles as a
+// per-cell telemetry record and reports can surface simulated-work totals.
+type cellResult struct {
+	IPC   float64     `json:"ipc"`
+	Stats stats.Stats `json:"stats"`
+}
+
 // sweepAgainst is sweep with an explicit baseline machine (ablations that
 // change the substrate, e.g. disabling the prefetcher, compare against a
 // matching baseline).
@@ -160,19 +185,19 @@ func (o Options) sweepAgainst(name string, cols []string, base config.Config, be
 		return nil, fmt.Errorf("%s: %d column labels for %d machines", name, len(cols), len(machines))
 	}
 
-	jobs := make([]harness.Job[float64], 0, len(benches)*len(cfgs))
+	jobs := make([]harness.Job[cellResult], 0, len(benches)*len(cfgs))
 	for _, b := range benches {
 		for mi, cfg := range cfgs {
 			b, cfg, label := b, cfg, labels[mi]
-			jobs = append(jobs, harness.Job[float64]{
+			jobs = append(jobs, harness.Job[cellResult]{
 				Key:  fmt.Sprintf("%s/%s/%s", name, b.Name, label),
 				Seed: o.Seed,
-				Run: func(ctx context.Context, hb *harness.Heartbeat) (float64, error) {
+				Run: func(ctx context.Context, hb *harness.Heartbeat) (cellResult, error) {
 					st, err := o.runCtx(ctx, hb, b, label, cfg)
 					if err != nil {
-						return 0, err
+						return cellResult{}, err
 					}
-					return st.UsefulIPC(), nil
+					return cellResult{IPC: st.UsefulIPC(), Stats: *st}, nil
 				},
 			})
 		}
@@ -180,6 +205,10 @@ func (o Options) sweepAgainst(name string, cols []string, base config.Config, be
 
 	camp, err := harness.Run(context.Background(), o.harnessConfig(name), jobs)
 	if camp != nil {
+		for _, r := range camp.Results {
+			camp.Summary.SimCycles += r.Stats.Cycles
+			camp.Summary.SimInsts += r.Stats.Committed
+		}
 		o.mergeSummary(camp.Summary)
 	}
 	if err != nil {
@@ -195,7 +224,7 @@ func (o Options) sweepAgainst(name string, cols []string, base config.Config, be
 	idx := 0
 	for bi := range benches {
 		for mi := range cfgs {
-			ipc[bi][mi] = camp.Results[jobs[idx].Key]
+			ipc[bi][mi] = camp.Results[jobs[idx].Key].IPC
 			idx++
 		}
 	}

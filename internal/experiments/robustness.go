@@ -64,6 +64,9 @@ type campaignCell struct {
 	Restore  uint64 `json:"restore"`
 	Qclamp   uint64 `json:"qclamp"`
 	Qdisable uint64 `json:"qdisable"`
+	// Stats is the clean run's full statistics snapshot (zero on aborts;
+	// journals written before this field existed unmarshal it as zero too).
+	Stats stats.Stats `json:"stats,omitempty"`
 }
 
 // campaignOutcome is the aggregate of one profile row across all of its
@@ -123,7 +126,7 @@ func FaultCampaign(o Options) ([]*stats.Table, error) {
 						cfg = core.WithFaults(cfg, p.Name, o.FaultSeed+uint64(bi)+1)
 						cfg = core.Hardened(cfg)
 						cfg.Check = true
-						cfg = supervised(ctx, hb, cfg)
+						cfg = o.supervised(ctx, hb, cfg)
 						prog, image := b.Build(o.Seed)
 						res, err := core.Run(cfg, prog, image)
 						var rep *fault.Report
@@ -138,6 +141,7 @@ func FaultCampaign(o Options) ([]*stats.Table, error) {
 								Restore:  s.Restorations,
 								Qclamp:   s.QuarantineClamps,
 								Qdisable: s.QuarantineDisables,
+								Stats:    *s,
 							}, nil
 						case errors.As(err, &rep):
 							// Structured abort: the machine gave up cleanly.
@@ -169,6 +173,10 @@ func FaultCampaign(o Options) ([]*stats.Table, error) {
 
 	camp, err := harness.Run(context.Background(), o.harnessConfig("robust"), jobs)
 	if camp != nil {
+		for _, r := range camp.Results {
+			camp.Summary.SimCycles += r.Stats.Cycles
+			camp.Summary.SimInsts += r.Stats.Committed
+		}
 		o.mergeSummary(camp.Summary)
 	}
 	if err != nil {

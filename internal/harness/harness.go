@@ -198,6 +198,7 @@ type EventKind string
 
 // Event kinds.
 const (
+	EventStart EventKind = "start" // a worker picked the cell up
 	EventDone  EventKind = "done"
 	EventSkip  EventKind = "skip" // resumed from the journal
 	EventRetry EventKind = "retry"
@@ -324,6 +325,7 @@ func Run[R any](ctx context.Context, cfg Config, jobs []Job[R]) (*Campaign[R], e
 		go func() {
 			defer wg.Done()
 			for j := range jobCh {
+				cfg.emit(Event{Kind: EventStart, Key: j.Key})
 				o := execute(runCtx, cfg, j)
 				mu.Lock()
 				sum.Attempts += o.attempts

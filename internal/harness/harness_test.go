@@ -341,11 +341,16 @@ func TestParentContextCancelInterrupts(t *testing.T) {
 // TestSummaryMergeAndStats: summaries merge and land in stats.Stats.
 func TestSummaryMergeAndStats(t *testing.T) {
 	a := &Summary{Name: "fig1", Total: 4, Completed: 3, Failed: 1, Retried: 1,
-		Retries: 2, Attempts: 6, Timeouts: 1, Stalls: 1, Panics: 1, Wall: time.Second}
-	b := &Summary{Total: 2, Completed: 1, Skipped: 1, Wall: time.Second}
+		Retries: 2, Attempts: 6, Timeouts: 1, Stalls: 1, Panics: 1, Wall: time.Second,
+		SimCycles: 100, SimInsts: 50}
+	b := &Summary{Total: 2, Completed: 1, Skipped: 1, Wall: time.Second,
+		SimCycles: 25, SimInsts: 10}
 	a.Merge(b)
 	if a.Total != 6 || a.Completed != 4 || a.Skipped != 1 || a.Wall != 2*time.Second {
 		t.Errorf("merge wrong: %+v", a)
+	}
+	if a.SimCycles != 125 || a.SimInsts != 60 {
+		t.Errorf("simulated-work merge wrong: cycles=%d insts=%d", a.SimCycles, a.SimInsts)
 	}
 
 	var st stats.Stats
@@ -360,7 +365,7 @@ func TestSummaryMergeAndStats(t *testing.T) {
 	}
 
 	tab := a.Table()
-	if len(tab.Columns) != 9 || len(tab.Rows) != 1 {
+	if len(tab.Columns) != 11 || len(tab.Rows) != 1 {
 		t.Errorf("summary table shape wrong: %+v", tab)
 	}
 }

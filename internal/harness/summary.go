@@ -28,6 +28,12 @@ type Summary struct {
 
 	Wall time.Duration
 
+	// Simulated work aggregated from per-cell stats snapshots (sweeps fill
+	// these from each cell's stats.Stats): total machine cycles simulated
+	// and useful instructions committed across every completed cell.
+	SimCycles uint64
+	SimInsts  uint64
+
 	// Failures holds the structured records of failed cells, sorted by key.
 	Failures []JobFailure
 }
@@ -53,6 +59,8 @@ func (s *Summary) Merge(o *Summary) {
 	s.Stalls += o.Stalls
 	s.Panics += o.Panics
 	s.Wall += o.Wall
+	s.SimCycles += o.SimCycles
+	s.SimInsts += o.SimInsts
 	s.Failures = append(s.Failures, o.Failures...)
 }
 
@@ -79,11 +87,12 @@ func (s *Summary) Table() *stats.Table {
 	t := &stats.Table{
 		Title: title,
 		Columns: []string{"completed", "retried", "failed", "skipped", "unrun",
-			"attempts", "timeouts", "stalls", "panics"},
+			"attempts", "timeouts", "stalls", "panics", "Mcycles", "Minsts"},
 	}
 	t.Add("cells",
 		float64(s.Completed), float64(s.Retried), float64(s.Failed),
 		float64(s.Skipped), float64(s.Unrun),
-		float64(s.Attempts), float64(s.Timeouts), float64(s.Stalls), float64(s.Panics))
+		float64(s.Attempts), float64(s.Timeouts), float64(s.Stalls), float64(s.Panics),
+		float64(s.SimCycles)/1e6, float64(s.SimInsts)/1e6)
 	return t
 }

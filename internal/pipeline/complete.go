@@ -159,7 +159,8 @@ func (e *Engine) resolveEvent(ev *vpEvent) {
 		// and then hands its place in the lineage to the survivor. Any
 		// redundant post-load work the parent did under the no-stall
 		// policy is squashed now.
-		e.emitThread(trace.KConfirm, survivor, fmt.Sprintf("prediction at pc %d confirmed; T%d/%d retiring",
+		e.noteConfirmTelemetry(survivor, ev)
+		e.emitThreadPeer(trace.KConfirm, survivor, t, fmt.Sprintf("prediction at pc %d confirmed; T%d/%d retiring",
 			ev.load.ex.PC, t.id, t.order))
 		e.squashYoungerThan(t, ev.load.seq)
 		t.retiring = true
@@ -337,6 +338,7 @@ func (e *Engine) killOne(t *thread) {
 	e.st.Squashed += t.committed
 	e.st.Committed -= t.committed
 	e.st.Kills++
+	e.noteKillTelemetry(t)
 	e.emitThread(trace.KKill, t, fmt.Sprintf("committed %d discounted", t.committed))
 	t.live = false
 	t.killed = true

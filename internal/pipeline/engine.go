@@ -15,6 +15,7 @@ import (
 	"mtvp/internal/oracle"
 	"mtvp/internal/stats"
 	"mtvp/internal/storebuf"
+	"mtvp/internal/telemetry"
 	"mtvp/internal/trace"
 	"mtvp/internal/vpred"
 )
@@ -63,8 +64,9 @@ type Engine struct {
 	// parent (which would credit the spawn with work it did not cause).
 	pendingWindows []*vpEvent
 
-	commitHook func(u *uop) // test instrumentation; nil in normal runs
-	tracer     trace.Tracer // optional event tracer; nil in normal runs
+	commitHook func(u *uop)       // test instrumentation; nil in normal runs
+	tracer     trace.Tracer       // optional event tracer; nil in normal runs
+	tel        *telemetry.Machine // optional metrics probe; nil in normal runs
 
 	// Robustness: the fault injector (nil-safe; nil when no profile is
 	// armed) and the recovery controller (always present).
@@ -110,6 +112,26 @@ func (e *Engine) emitThread(k trace.Kind, t *thread, text string) {
 		Order:  t.order,
 		PC:     -1,
 		Text:   text,
+	})
+}
+
+// emitThreadPeer is emitThread for pairwise events (spawn, confirm): peer
+// is the other context — the spawning or retiring parent — so
+// machine-readable sinks can draw flow arrows between tracks.
+func (e *Engine) emitThreadPeer(k trace.Kind, t, peer *thread, text string) {
+	if e.tracer == nil {
+		return
+	}
+	e.tracer.Emit(trace.Event{
+		Cycle:     e.now,
+		Kind:      k,
+		Thread:    t.id,
+		Order:     t.order,
+		PC:        -1,
+		Text:      text,
+		Peer:      peer.id,
+		PeerOrder: peer.order,
+		HasPeer:   true,
 	})
 }
 
@@ -262,6 +284,9 @@ func (e *Engine) Run() error {
 		e.issue()
 		e.dispatch()
 		e.fetch()
+		if e.tel != nil {
+			e.telemetryCycle()
+		}
 		if e.auditOn {
 			if err := e.auditCycle(); err != nil {
 				e.st.Cycles = uint64(e.now)

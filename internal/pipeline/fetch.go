@@ -350,7 +350,8 @@ func (e *Engine) spawn(t *thread, loadU *uop, ev *vpEvent) {
 	}
 	e.st.Spawns += uint64(len(ev.children))
 	for i, c := range ev.children {
-		e.emitThread(trace.KSpawn, c, fmt.Sprintf("from T%d/%d at pc %d value %#x",
+		e.noteSpawnTelemetry(c)
+		e.emitThreadPeer(trace.KSpawn, c, t, fmt.Sprintf("from T%d/%d at pc %d value %#x",
 			t.id, t.order, loadU.ex.PC, ev.childVals[i]))
 	}
 	t.pendingSpawn = ev

@@ -82,6 +82,9 @@ func (e *Engine) issueOne(u *uop) {
 	done := e.now + e.latencyOf(u)
 	u.doneCycle = done
 	e.completions.schedule(u, done)
+	if u.class == isa.ClassLoad {
+		e.noteLoadLatencyTelemetry(done - e.now)
+	}
 	e.emit(trace.KIssue, u)
 }
 

@@ -6,6 +6,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"reflect"
 	"sort"
 	"strings"
 )
@@ -113,30 +114,46 @@ func (s *Stats) VPAccuracy() float64 {
 	return float64(s.VPCorrect) / float64(n)
 }
 
-// String summarises the run.
+// NamedCounter pairs one exported Stats counter field with its value.
+type NamedCounter struct {
+	Name  string
+	Value uint64
+}
+
+// Counters enumerates every exported uint64 counter field of Stats by
+// reflection, in declaration order. Renderers built on it (String, the
+// telemetry exporters) can never silently drop a newly added counter.
+func (s *Stats) Counters() []NamedCounter {
+	v := reflect.ValueOf(*s)
+	t := v.Type()
+	out := make([]NamedCounter, 0, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() || f.Type.Kind() != reflect.Uint64 {
+			continue
+		}
+		out = append(out, NamedCounter{Name: f.Name, Value: v.Field(i).Uint()})
+	}
+	return out
+}
+
+// String summarises the run: the derived rates first, then every nonzero
+// counter as FieldName=value. The counter list comes from Counters(), so a
+// counter added to the struct shows up here without any formatting change
+// (the round-trip test enforces it).
 func (s *Stats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "cycles=%d committed=%d ipc=%.4f", s.Cycles, s.Committed, s.UsefulIPC())
-	fmt.Fprintf(&b, " brAcc=%.3f", s.BranchAccuracy())
-	fmt.Fprintf(&b, " loads=%d dl1m=%d l2m=%d l3m=%d", s.Loads, s.DL1Miss, s.L2Miss, s.L3Miss)
-	if s.VPPredicted > 0 {
-		fmt.Fprintf(&b, " vp=%d vpAcc=%.3f spawns=%d confirms=%d kills=%d",
-			s.VPPredicted, s.VPAccuracy(), s.Spawns, s.Confirms, s.Kills)
-	}
-	if s.FaultsInjected > 0 {
-		fmt.Fprintf(&b, " faults=%d", s.FaultsInjected)
-	}
-	if s.DeadlockBreaks > 0 || s.Degradations > 0 {
-		fmt.Fprintf(&b, " breaks=%d degrade=%d restore=%d",
-			s.DeadlockBreaks, s.Degradations, s.Restorations)
-	}
-	if s.QuarantineClamps > 0 || s.QuarantineDisables > 0 {
-		fmt.Fprintf(&b, " qclamp=%d qdisable=%d qsupp=%d",
-			s.QuarantineClamps, s.QuarantineDisables, s.QuarantineSuppressed)
+	fmt.Fprintf(&b, "ipc=%.4f brAcc=%.3f", s.UsefulIPC(), s.BranchAccuracy())
+	if s.VPCorrect+s.VPWrong > 0 {
+		fmt.Fprintf(&b, " vpAcc=%.3f", s.VPAccuracy())
 	}
 	if s.HarnessCompleted > 0 || s.HarnessFailed > 0 || s.HarnessSkipped > 0 {
-		fmt.Fprintf(&b, " cells=%d skipped=%d retried=%d failed=%d",
-			s.HarnessCompleted, s.HarnessSkipped, s.HarnessRetried, s.HarnessFailed)
+		fmt.Fprintf(&b, " cells=%d", s.HarnessCompleted)
+	}
+	for _, c := range s.Counters() {
+		if c.Value != 0 {
+			fmt.Fprintf(&b, " %s=%d", c.Name, c.Value)
+		}
 	}
 	return b.String()
 }

@@ -1,7 +1,9 @@
 package stats
 
 import (
+	"fmt"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -118,6 +120,40 @@ func TestStatsString(t *testing.T) {
 	for _, want := range []string{"ipc=0.5", "vpAcc=0.800"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("stats string missing %q: %s", want, out)
+		}
+	}
+}
+
+// TestStatsStringRoundTrip: every exported uint64 counter field renders in
+// String() when nonzero, under its own field name with its exact value. A
+// counter added to Stats but dropped by the renderer fails here.
+func TestStatsStringRoundTrip(t *testing.T) {
+	var s Stats
+	v := reflect.ValueOf(&s).Elem()
+	tp := v.Type()
+	n := 0
+	for i := 0; i < tp.NumField(); i++ {
+		f := tp.Field(i)
+		if !f.IsExported() || f.Type.Kind() != reflect.Uint64 {
+			continue
+		}
+		// Distinct values so a transposed pair cannot cancel out.
+		v.Field(i).SetUint(uint64(1000 + i))
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no uint64 counter fields found — reflection walk broken")
+	}
+
+	counters := s.Counters()
+	if len(counters) != n {
+		t.Fatalf("Counters() returned %d entries, want %d", len(counters), n)
+	}
+	out := s.String()
+	for _, c := range counters {
+		want := fmt.Sprintf("%s=%d", c.Name, c.Value)
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing counter %q:\n%s", want, out)
 		}
 	}
 }

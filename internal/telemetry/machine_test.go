@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSamplerBucketsAndRates(t *testing.T) {
+	s := NewSampler(100)
+	m := NewMachine(NewRegistry(), s)
+
+	var c CycleCounters
+	for cycle := int64(1); cycle <= 250; cycle++ {
+		c.Committed = uint64(cycle) * 2 // IPC 2.0 throughout
+		if cycle == 150 {
+			c.VPCorrect, c.VPWrong = 8, 2
+		}
+		m.Tick(cycle, CycleGauges{ROBUsed: int(cycle), SpecThreads: 1}, c)
+	}
+	m.Finish(250, CycleGauges{ROBUsed: 250, SpecThreads: 1}, c)
+
+	pts := s.Points()
+	if len(pts) != 3 {
+		t.Fatalf("points = %d, want 3 (two full buckets + the final partial)", len(pts))
+	}
+	if pts[0].Cycle != 100 || pts[1].Cycle != 200 || pts[2].Cycle != 250 {
+		t.Errorf("bucket close cycles: %d %d %d", pts[0].Cycle, pts[1].Cycle, pts[2].Cycle)
+	}
+	for i, p := range pts {
+		if p.IPC < 1.99 || p.IPC > 2.01 {
+			t.Errorf("point %d IPC = %v, want 2.0", i, p.IPC)
+		}
+		if p.SpecThreads != 1 {
+			t.Errorf("point %d spec threads = %d", i, p.SpecThreads)
+		}
+	}
+	if pts[0].Occupancy != 100 || pts[2].Occupancy != 250 {
+		t.Errorf("occupancy snapshots: %d %d", pts[0].Occupancy, pts[2].Occupancy)
+	}
+	// VP deltas landed in the second bucket only.
+	if pts[0].VPAccuracy != 0 || pts[1].VPAccuracy != 0.8 || pts[2].VPAccuracy != 0 {
+		t.Errorf("vp accuracy per bucket: %v %v %v",
+			pts[0].VPAccuracy, pts[1].VPAccuracy, pts[2].VPAccuracy)
+	}
+	// Finishing twice (or after no progress) adds nothing.
+	m.Finish(250, CycleGauges{}, c)
+	if len(s.Points()) != 3 {
+		t.Error("double Finish added a bucket")
+	}
+}
+
+// TestSamplerNegativeCommitClamp: a killed speculative thread's commits are
+// discounted retroactively, so a bucket's committed delta can be net
+// negative; the sampler clamps it to zero instead of wrapping.
+func TestSamplerNegativeCommitClamp(t *testing.T) {
+	s := NewSampler(10)
+	var c CycleCounters
+	s.tick(1, CycleGauges{}, c)
+	c.Committed = 100
+	s.tick(11, CycleGauges{}, c) // first bucket closes with 100 commits
+	c.Committed = 40             // 60 commits discounted by kills
+	s.tick(21, CycleGauges{}, c)
+	pts := s.Points()
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[1].Committed != 0 || pts[1].IPC != 0 {
+		t.Errorf("negative bucket not clamped: committed=%d ipc=%v",
+			pts[1].Committed, pts[1].IPC)
+	}
+}
+
+func TestSeriesCSVAndJSONL(t *testing.T) {
+	s := NewSampler(10)
+	var c CycleCounters
+	c.Committed = 2
+	c.Loads = 3
+	s.tick(1, CycleGauges{}, c)
+	c.Committed = 22 // 22 commits over the 11-cycle epoch [0,11): IPC 2.0
+	s.tick(11, CycleGauges{ROBUsed: 5, LiveThreads: 2, SpecThreads: 1}, c)
+
+	var csv strings.Builder
+	if err := s.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), csv.String())
+	}
+	header := lines[0]
+	for _, col := range []string{"cycle", "ipc", "occupancy", "spec_threads"} {
+		if !strings.Contains(header, col) {
+			t.Errorf("csv header missing %q: %s", col, header)
+		}
+	}
+	if !strings.HasPrefix(lines[1], "11,2.000000,") {
+		t.Errorf("csv row wrong: %s", lines[1])
+	}
+
+	var jl strings.Builder
+	if err := s.WriteJSONL(&jl); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"cycle":11`, `"ipc":2`, `"spec_threads":1`} {
+		if !strings.Contains(jl.String(), want) {
+			t.Errorf("jsonl missing %q: %s", want, jl.String())
+		}
+	}
+}
+
+func TestMachineGaugesLandInRegistry(t *testing.T) {
+	reg := NewRegistry()
+	m := NewMachine(reg, nil)
+	m.Tick(1, CycleGauges{ROBUsed: 12, StoreBufUsed: 7, LiveThreads: 3, SpecThreads: 2}, CycleCounters{})
+	m.LoadLatency.Observe(9)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"mtvp_sim_rob_used 12",
+		"mtvp_sim_storebuf_used 7",
+		"mtvp_sim_threads_live 3",
+		"mtvp_sim_threads_spec 2",
+		"mtvp_sim_load_latency_cycles_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mtvp/internal/trace"
+)
+
+// perfettoDoc mirrors the Chrome trace-event JSON object format.
+type perfettoDoc struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		TS   int64          `json:"ts"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		ID   int64          `json:"id"`
+		BP   string         `json:"bp"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestPerfettoExport(t *testing.T) {
+	var b strings.Builder
+	s := NewPerfettoSink(&b)
+	// Parent ctx 0 spawns order-5 speculation onto ctx 1; it is confirmed.
+	s.Emit(trace.Event{Cycle: 10, Kind: trace.KSpawn, Thread: 1, Order: 5, PC: -1,
+		Peer: 0, PeerOrder: 2, HasPeer: true})
+	s.Emit(trace.Event{Cycle: 12, Kind: trace.KCommit, Thread: 0, Order: 2, Seq: 7, PC: 3, Text: "ld r1"})
+	s.Emit(trace.Event{Cycle: 30, Kind: trace.KConfirm, Thread: 1, Order: 5, PC: -1})
+	// Machine-level event (no context).
+	s.Emit(trace.Event{Cycle: 40, Kind: trace.KCancel, Thread: -1, Order: 0, PC: -1})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+
+	var doc perfettoDoc
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, b.String())
+	}
+	if doc.DisplayTimeUnit == "" {
+		t.Error("displayTimeUnit missing")
+	}
+
+	tracks := map[string]bool{}
+	var openB, closeE, flowS, flowF, instants int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				tracks[ev.Args["name"].(string)] = true
+			}
+		case "B":
+			openB++
+			if ev.TID != 1 || ev.TS != 10 {
+				t.Errorf("spawn slice on tid %d at ts %d, want child track 1 at 10", ev.TID, ev.TS)
+			}
+		case "E":
+			closeE++
+			if ev.TID != 1 || ev.TS != 30 {
+				t.Errorf("slice close on tid %d at ts %d, want track 1 at 30", ev.TID, ev.TS)
+			}
+		case "s":
+			flowS++
+			if ev.TID != 0 || ev.ID != 5 {
+				t.Errorf("flow start on tid %d id %d, want parent track 0 id 5", ev.TID, ev.ID)
+			}
+		case "f":
+			flowF++
+			if ev.TID != 1 || ev.ID != 5 || ev.BP != "e" {
+				t.Errorf("flow finish wrong: tid=%d id=%d bp=%q", ev.TID, ev.ID, ev.BP)
+			}
+		case "i":
+			instants++
+		}
+	}
+	for _, want := range []string{"ctx 0", "ctx 1", "machine"} {
+		if !tracks[want] {
+			t.Errorf("missing track %q (have %v)", want, tracks)
+		}
+	}
+	if openB != 1 || closeE != 1 {
+		t.Errorf("lifetime slices: %d open / %d close, want 1/1", openB, closeE)
+	}
+	if flowS != 1 || flowF != 1 {
+		t.Errorf("flow arrows: %d start / %d finish, want 1/1", flowS, flowF)
+	}
+	if instants < 2 { // the commit and confirm instants at least
+		t.Errorf("instants = %d", instants)
+	}
+}
+
+// TestPerfettoUnresolvedSpeculation: a spawn with no confirm/kill leaves its
+// slice open (rendered running to trace end) and the export is still valid
+// JSON after Close.
+func TestPerfettoUnresolvedSpeculation(t *testing.T) {
+	var b strings.Builder
+	s := NewPerfettoSink(&b)
+	s.Emit(trace.Event{Cycle: 5, Kind: trace.KSpawn, Thread: 2, Order: 9, PC: -1})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc perfettoDoc
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("export invalid: %v", err)
+	}
+	// A kill for a speculation that was never opened must not emit a close.
+	var b2 strings.Builder
+	s2 := NewPerfettoSink(&b2)
+	s2.Emit(trace.Event{Cycle: 5, Kind: trace.KKill, Thread: 2, Order: 9, PC: -1})
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(b2.String()), &doc); err != nil {
+		t.Fatalf("export invalid: %v", err)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "E" || ev.Ph == "f" {
+			t.Errorf("kill without a spawn emitted a %q event", ev.Ph)
+		}
+	}
+}

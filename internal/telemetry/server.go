@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+)
+
+// Server exposes a registry over HTTP for live campaign observation:
+//
+//	/metrics       Prometheus text exposition of every registered instrument
+//	/healthz       200 "ok" while the server is up (campaign workers live)
+//	/debug/pprof/  the standard net/http/pprof surface
+//
+// The server binds immediately (so ":0" callers can read the chosen port
+// from Addr) and serves until Close.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+	reg *Registry
+}
+
+// NewServer binds addr (host:port; port 0 picks a free port) and starts
+// serving reg in a background goroutine.
+func NewServer(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, reg: reg}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Campaign is the live-telemetry instrument set of one harness campaign:
+// job outcome counters, an in-flight gauge, aggregate simulated progress
+// fed from the engines' config.Observe polls, and a heartbeat whose age is
+// exported as a scrape-time gauge (a growing age means every worker has
+// gone quiet).
+type Campaign struct {
+	JobsDone    *Counter
+	JobsFailed  *Counter
+	JobsRetried *Counter
+	JobsSkipped *Counter
+	JobsStarted *Counter
+	InFlight    *Gauge
+
+	SimCycles  *Counter // simulated cycles, summed across all jobs
+	SimCommits *Counter // useful committed instructions, summed across all jobs
+
+	lastBeat atomic.Int64 // unix nanos of the last Observe poll
+}
+
+// NewCampaign registers the campaign instrument set in reg.
+func NewCampaign(reg *Registry) *Campaign {
+	c := &Campaign{
+		JobsDone:    reg.Counter("mtvp_jobs_done_total", "campaign cells completed"),
+		JobsFailed:  reg.Counter("mtvp_jobs_failed_total", "campaign cells that exhausted their retries"),
+		JobsRetried: reg.Counter("mtvp_jobs_retried_total", "campaign cell retry attempts"),
+		JobsSkipped: reg.Counter("mtvp_jobs_skipped_total", "campaign cells skipped on resume"),
+		JobsStarted: reg.Counter("mtvp_jobs_started_total", "campaign cells dispatched to a worker"),
+		InFlight:    reg.Gauge("mtvp_jobs_in_flight", "campaign cells currently running"),
+		SimCycles:   reg.Counter("mtvp_sim_cycles_total", "simulated cycles across all campaign jobs"),
+		SimCommits:  reg.Counter("mtvp_sim_commits_total", "useful committed instructions across all campaign jobs"),
+	}
+	c.lastBeat.Store(time.Now().UnixNano())
+	reg.GaugeFunc("mtvp_heartbeat_age_seconds",
+		"seconds since any running job last reported simulated progress",
+		func() float64 { return c.HeartbeatAge().Seconds() })
+	return c
+}
+
+// Progress feeds one job's simulated-progress delta (from the engine's
+// config.Observe poll) and refreshes the heartbeat. Safe from any worker
+// goroutine.
+func (c *Campaign) Progress(dCycles, dCommits uint64) {
+	c.SimCycles.Add(dCycles)
+	c.SimCommits.Add(dCommits)
+	c.lastBeat.Store(time.Now().UnixNano())
+}
+
+// HeartbeatAge returns the time since the last Progress call.
+func (c *Campaign) HeartbeatAge() time.Duration {
+	return time.Duration(time.Now().UnixNano() - c.lastBeat.Load())
+}

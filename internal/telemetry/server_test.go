@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServerServesMetricsAndHealth(t *testing.T) {
+	reg := NewRegistry()
+	campaign := NewCampaign(reg)
+	srv, err := NewServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	campaign.JobsStarted.Inc()
+	campaign.InFlight.Add(1)
+	campaign.Progress(5000, 1200)
+	campaign.JobsDone.Inc()
+	campaign.InFlight.Add(-1)
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	code, body = get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE mtvp_jobs_done_total counter",
+		"mtvp_jobs_done_total 1",
+		"mtvp_jobs_started_total 1",
+		"mtvp_jobs_in_flight 0",
+		"mtvp_sim_cycles_total 5000",
+		"mtvp_sim_commits_total 1200",
+		"mtvp_heartbeat_age_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// pprof index is mounted.
+	code, _ = get("/debug/pprof/")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+
+	if age := campaign.HeartbeatAge(); age < 0 || age > time.Minute {
+		t.Errorf("heartbeat age implausible: %v", age)
+	}
+}

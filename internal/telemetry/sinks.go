@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+
+	"mtvp/internal/trace"
+)
+
+// jsonEvent is the machine-readable rendering of one trace.Event.
+type jsonEvent struct {
+	Cycle  int64  `json:"cycle"`
+	Kind   string `json:"kind"`
+	Thread int    `json:"thread"`
+	Order  int64  `json:"order"`
+	Seq    uint64 `json:"seq,omitempty"`
+	PC     *int64 `json:"pc,omitempty"`
+	Text   string `json:"text,omitempty"`
+	Peer   *int   `json:"peer,omitempty"`
+}
+
+// JSONLSink renders pipeline events as one JSON object per line — the
+// machine-readable sibling of trace.Writer's human-readable log. Close (or
+// Flush) must be called to drain the write buffer.
+type JSONLSink struct {
+	// Kinds restricts output to the listed event kinds; nil passes all.
+	// Like trace.Writer, the filter is consulted per event, so it may be
+	// changed at any time.
+	Kinds []trace.Kind
+
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink returns a sink writing JSON lines to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+}
+
+func (s *JSONLSink) pass(k trace.Kind) bool {
+	if s.Kinds == nil {
+		return true
+	}
+	for _, want := range s.Kinds {
+		if want == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Emit implements trace.Tracer.
+func (s *JSONLSink) Emit(ev trace.Event) {
+	if s.err != nil || !s.pass(ev.Kind) {
+		return
+	}
+	je := jsonEvent{
+		Cycle:  ev.Cycle,
+		Kind:   ev.Kind.String(),
+		Thread: ev.Thread,
+		Order:  ev.Order,
+		Seq:    ev.Seq,
+		Text:   ev.Text,
+	}
+	if ev.PC >= 0 {
+		pc := ev.PC
+		je.PC = &pc
+	}
+	if ev.HasPeer {
+		peer := ev.Peer
+		je.Peer = &peer
+	}
+	s.err = s.enc.Encode(je)
+}
+
+// Flush drains buffered lines to the underlying writer.
+func (s *JSONLSink) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}
+
+// Close flushes the sink.
+func (s *JSONLSink) Close() error { return s.Flush() }

@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mtvp/internal/trace"
+)
+
+func TestJSONLSinkRendersEvents(t *testing.T) {
+	var b strings.Builder
+	s := NewJSONLSink(&b)
+	s.Emit(trace.Event{Cycle: 42, Kind: trace.KCommit, Thread: 1, Order: 3, Seq: 9, PC: 17, Text: "add r1, r2, r3"})
+	s.Emit(trace.Event{Cycle: 43, Kind: trace.KSpawn, Thread: 2, Order: 4, PC: -1, Peer: 1, PeerOrder: 3, HasPeer: true})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d:\n%s", len(lines), b.String())
+	}
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if ev["kind"] != "commit" || ev["cycle"] != float64(42) || ev["pc"] != float64(17) {
+		t.Errorf("commit event wrong: %v", ev)
+	}
+	if _, has := ev["peer"]; has {
+		t.Error("peerless event rendered a peer field")
+	}
+	ev = nil // Unmarshal merges into a live map; start fresh per line
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if ev["kind"] != "spawn" || ev["peer"] != float64(1) {
+		t.Errorf("spawn event wrong: %v", ev)
+	}
+	if _, has := ev["pc"]; has {
+		t.Error("thread event (PC -1) rendered a pc field")
+	}
+}
+
+func TestJSONLSinkKindFilter(t *testing.T) {
+	var b strings.Builder
+	s := NewJSONLSink(&b)
+	s.Emit(trace.Event{Kind: trace.KFetch, Seq: 1})
+	s.Kinds = []trace.Kind{trace.KKill} // set after the first Emit: applies
+	s.Emit(trace.Event{Kind: trace.KFetch, Seq: 2})
+	s.Emit(trace.Event{Kind: trace.KKill})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := strings.TrimSpace(b.String())
+	if n := len(strings.Split(out, "\n")); n != 2 {
+		t.Errorf("filtered sink wrote %d lines, want 2:\n%s", n, out)
+	}
+	if strings.Count(out, `"fetch"`) != 1 || strings.Count(out, `"kill"`) != 1 {
+		t.Errorf("filter wrong:\n%s", out)
+	}
+}

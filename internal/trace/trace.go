@@ -53,6 +53,26 @@ func (k Kind) String() string {
 	return "event?"
 }
 
+// KindByName returns the Kind whose String() is name. The mapping is the
+// inverse of kindNames, so CLIs parsing kind filters cannot drift from the
+// canonical names.
+func KindByName(name string) (Kind, bool) {
+	for k := Kind(0); k < numKinds; k++ {
+		if kindNames[k] == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// KindNames returns the canonical short name of every event kind, in kind
+// order.
+func KindNames() []string {
+	out := make([]string, numKinds)
+	copy(out, kindNames[:])
+	return out
+}
+
 // Event is one pipeline occurrence.
 type Event struct {
 	Cycle  int64
@@ -62,6 +82,15 @@ type Event struct {
 	Seq    uint64 // instruction sequence number (0 for thread events)
 	PC     int64  // instruction index (-1 for thread events)
 	Text   string // disassembly or event detail
+
+	// Peer identifies the other context of a pairwise thread event — the
+	// spawning parent of a KSpawn, the retiring parent of a KConfirm —
+	// with its speculation order. HasPeer distinguishes "peer is context 0"
+	// from "no peer"; machine-readable sinks use it to draw spawn→confirm
+	// flow arrows between context tracks.
+	Peer      int
+	PeerOrder int64
+	HasPeer   bool
 }
 
 // Tracer receives pipeline events.
@@ -70,36 +99,35 @@ type Tracer interface {
 }
 
 // Writer renders events to an io.Writer, optionally bounded to a maximum
-// event count and filtered by kind.
+// event count and filtered by kind. Kinds is consulted on every Emit, so
+// setting (or changing) it at any point — even after events have been
+// written — deterministically applies to all subsequent events.
 type Writer struct {
-	W      io.Writer
-	Max    uint64 // 0 = unlimited
-	Kinds  []Kind // nil = all kinds
-	count  uint64
-	filter [numKinds]bool
-	init   bool
+	W     io.Writer
+	Max   uint64 // 0 = unlimited
+	Kinds []Kind // nil = all kinds
+	count uint64
 }
 
 // NewWriter returns a Writer emitting every event to w.
 func NewWriter(w io.Writer) *Writer { return &Writer{W: w} }
 
+// pass reports whether the current kind filter admits k.
+func (t *Writer) pass(k Kind) bool {
+	if t.Kinds == nil {
+		return true
+	}
+	for _, want := range t.Kinds {
+		if want == k {
+			return true
+		}
+	}
+	return false
+}
+
 // Emit implements Tracer.
 func (t *Writer) Emit(ev Event) {
-	if !t.init {
-		if t.Kinds == nil {
-			for i := range t.filter {
-				t.filter[i] = true
-			}
-		} else {
-			for _, k := range t.Kinds {
-				if int(k) < len(t.filter) {
-					t.filter[k] = true
-				}
-			}
-		}
-		t.init = true
-	}
-	if int(ev.Kind) >= len(t.filter) || !t.filter[ev.Kind] {
+	if !t.pass(ev.Kind) {
 		return
 	}
 	if t.Max > 0 && t.count >= t.Max {
@@ -135,4 +163,33 @@ func (c *Collector) ByKind(k Kind) []Event {
 		}
 	}
 	return out
+}
+
+// multi fans one event stream out to several tracers in fixed order.
+type multi struct{ ts []Tracer }
+
+// Emit implements Tracer.
+func (m *multi) Emit(ev Event) {
+	for _, t := range m.ts {
+		t.Emit(ev)
+	}
+}
+
+// Multi combines tracers into one: every event is delivered to each non-nil
+// tracer in argument order. Returns nil when no tracer remains (so callers
+// can attach the result unconditionally).
+func Multi(ts ...Tracer) Tracer {
+	var live []Tracer
+	for _, t := range ts {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return &multi{ts: live}
 }

@@ -58,10 +58,75 @@ func TestCollector(t *testing.T) {
 	}
 }
 
-func TestKindNames(t *testing.T) {
+// TestWriterKindsSetAfterEmit: the Kinds filter is consulted per event, so
+// setting (or changing) it after the first Emit takes effect — the old
+// lazily-cached filter silently ignored late changes.
+func TestWriterKindsSetAfterEmit(t *testing.T) {
+	var buf bytes.Buffer
+	w := &Writer{W: &buf}
+	w.Emit(Event{Kind: KFetch, Seq: 1})
+
+	w.Kinds = []Kind{KSpawn}
+	w.Emit(Event{Kind: KCommit, Seq: 2})
+	w.Emit(Event{Kind: KSpawn})
+	if w.Count() != 2 {
+		t.Errorf("writer wrote %d events, want 2 (filter set after first Emit must apply)", w.Count())
+	}
+	if strings.Contains(buf.String(), "commit") {
+		t.Errorf("late-set filter ignored:\n%s", buf.String())
+	}
+
+	// Widening the filter later applies too.
+	w.Kinds = nil
+	w.Emit(Event{Kind: KCommit, Seq: 3})
+	if w.Count() != 3 {
+		t.Errorf("cleared filter still dropping events: count=%d", w.Count())
+	}
+}
+
+// TestKindNamesExhaustive: every declared kind has a stable, unique,
+// non-placeholder name, and KindByName is its exact inverse. Adding a Kind
+// without naming it fails here.
+func TestKindNamesExhaustive(t *testing.T) {
+	seen := map[string]Kind{}
 	for k := Kind(0); k < numKinds; k++ {
-		if k.String() == "" || k.String() == "event?" {
+		name := k.String()
+		if name == "" || name == "event?" {
 			t.Errorf("kind %d has no name", k)
+			continue
 		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("kinds %d and %d share the name %q", prev, k, name)
+		}
+		seen[name] = k
+		back, ok := KindByName(name)
+		if !ok || back != k {
+			t.Errorf("KindByName(%q) = %v,%v; want %v,true", name, back, ok, k)
+		}
+	}
+	if names := KindNames(); len(names) != int(numKinds) {
+		t.Errorf("KindNames returned %d names for %d kinds", len(names), numKinds)
+	}
+	if _, ok := KindByName("no-such-kind"); ok {
+		t.Error("KindByName accepted an unknown name")
+	}
+	if Kind(numKinds).String() != "event?" {
+		t.Errorf("out-of-range kind renders %q, want the event? placeholder", Kind(numKinds).String())
+	}
+}
+
+func TestMultiFansOutAndElidesNils(t *testing.T) {
+	a, b := &Collector{}, &Collector{}
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Error("Multi with no live tracers must return nil")
+	}
+	if Multi(nil, a) != Tracer(a) {
+		t.Error("Multi with one live tracer must return it directly")
+	}
+	m := Multi(a, nil, b)
+	m.Emit(Event{Kind: KSpawn})
+	m.Emit(Event{Kind: KKill})
+	if len(a.Events) != 2 || len(b.Events) != 2 {
+		t.Errorf("fan-out wrong: a=%d b=%d events", len(a.Events), len(b.Events))
 	}
 }
