@@ -38,10 +38,38 @@ import (
 	"mtvp/internal/experiments"
 	"mtvp/internal/fault"
 	"mtvp/internal/harness"
+	"mtvp/internal/hostperf"
 	"mtvp/internal/stats"
 	"mtvp/internal/telemetry"
 	"mtvp/internal/workload"
 )
+
+// Host-side instrumentation state. Package-level because exit() leaves via
+// os.Exit (skipping main's defers) and must still flush profiles and the
+// partial -hostperf record — a campaign that died late is exactly the one
+// whose host-perf trace you want.
+var (
+	stopProfiles func() error
+	perfReport   *hostperf.Report
+	perfPath     string
+)
+
+// flushHostArtifacts ends the pprof profiles and writes the -hostperf
+// report, if either was requested. Safe to call more than once.
+func flushHostArtifacts() {
+	if stopProfiles != nil {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		stopProfiles = nil
+	}
+	if perfReport != nil {
+		if err := perfReport.Write(perfPath); err != nil {
+			fmt.Fprintf(os.Stderr, "hostperf: %v\n", err)
+		}
+		perfReport = nil
+	}
+}
 
 func main() {
 	var (
@@ -60,8 +88,23 @@ func main() {
 		resume   = flag.String("resume", "", "resume from this journal: skip done cells, re-run failures")
 		quiet    = flag.Bool("quiet", false, "suppress per-event campaign progress on stderr")
 		metrics  = flag.String("metrics-addr", "", "serve live campaign telemetry on this host:port (/metrics, /healthz, /debug/pprof; \"\" = off)")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the host process to FILE")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to FILE")
+		hostJSON = flag.String("hostperf", "", "write a machine-readable host-performance record (JSON: sim Mcycles/sec, Minsts/sec, allocs and wall time per campaign cell) to FILE")
 	)
 	flag.Parse()
+
+	stop, err := hostperf.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	stopProfiles = stop
+	defer flushHostArtifacts()
+	if *hostJSON != "" {
+		perfReport = hostperf.NewReport("mtvpbench")
+		perfPath = *hostJSON
+	}
 
 	opt := experiments.DefaultOptions()
 	opt.Insts = *insts
@@ -177,7 +220,18 @@ func main() {
 			continue
 		}
 		start := time.Now()
+		// Host-perf records are per experiment: the summary is cumulative
+		// across the whole invocation, so diff it around the run.
+		before := *opt.Summary
+		meter := hostperf.StartMeter()
 		tables, err := e.run(opt)
+		if perfReport != nil {
+			after := opt.Summary
+			perfReport.Records = append(perfReport.Records, meter.Stop(e.name,
+				after.Completed-before.Completed,
+				after.SimCycles-before.SimCycles,
+				after.SimInsts-before.SimInsts))
+		}
 		if err != nil {
 			exit(e.name, err, opt.Summary)
 		}
@@ -219,6 +273,7 @@ func teeEvents(fns ...func(harness.Event)) func(harness.Event) {
 // 4 when cells exhausted their retries (keys listed on stderr), 130 when the
 // campaign was interrupted, 1 otherwise.
 func exit(name string, err error, sum *harness.Summary) {
+	flushHostArtifacts()
 	fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 	if sum != nil && sum.Total > 0 {
 		fmt.Fprintln(os.Stderr, sum.Table())

@@ -26,6 +26,7 @@ import (
 	"mtvp/internal/config"
 	"mtvp/internal/core"
 	"mtvp/internal/fault"
+	"mtvp/internal/hostperf"
 	"mtvp/internal/oracle"
 	"mtvp/internal/telemetry"
 	"mtvp/internal/trace"
@@ -87,10 +88,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		perfetto  = fs.String("perfetto", "", "write a Chrome trace-event (Perfetto/about:tracing) timeline to FILE")
 		series    = fs.String("series", "", "write a cycle-bucketed time series to FILE (.csv = CSV, else JSONL)")
 		seriesN   = fs.Int64("series-every", telemetry.DefaultSampleEvery, "time-series bucket width in cycles")
+		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the host process to FILE")
+		memProf   = fs.String("memprofile", "", "write a pprof heap profile at exit to FILE")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitErr
 	}
+
+	stopProfiles, err := hostperf.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return exitErr
+	}
+	// Flushed by defer so profiles survive every exit path, including a
+	// divergence or structured fault abort — profiling a failing run is a
+	// perfectly good reason to profile.
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(stderr, err)
+		}
+	}()
 
 	if *list {
 		for _, b := range workload.All() {

@@ -314,6 +314,13 @@ type Config struct {
 	// Robustness: fault injection and the recovery controller.
 	Faults   FaultParams
 	Recovery RecoveryParams
+
+	// DisableFastForward turns off the engine's idle-cycle fast-forward
+	// (pipeline/engine.go). Fast-forward is a pure host-time optimization —
+	// every simulated outcome is identical with it on or off (test-enforced)
+	// — so this knob exists only for A/B validation and debugging. The
+	// MTVP_NO_FASTFWD environment variable forces the same behaviour.
+	DisableFastForward bool
 }
 
 // Baseline returns the Table 1 machine with value prediction disabled.

@@ -1,0 +1,47 @@
+package isa
+
+// Decoded is the per-static-instruction predecode record. The timing layer
+// consults instruction properties (class, sources, memory width, control
+// behaviour) on every fetch and dispatch of every dynamic instance; decoding
+// the whole program once into a flat PC-indexed table turns those per-fetch
+// switch walks into field loads.
+type Decoded struct {
+	Inst     Inst
+	Class    Class
+	InstAddr uint64 // byte address of the instruction
+	MemSize  int    // access width in bytes (0 for non-memory ops)
+
+	SrcRegs [3]Reg // source registers, R0 omitted; first NumSrcs valid
+	NumSrcs int
+
+	HasDest   bool
+	IsLoad    bool
+	IsStore   bool
+	IsBranch  bool
+	IsControl bool
+}
+
+// Srcs returns the instruction's source registers (a view into the table
+// entry; do not retain across mutation).
+func (d *Decoded) Srcs() []Reg { return d.SrcRegs[:d.NumSrcs] }
+
+// Decode builds the predecode table for p, one entry per static
+// instruction, indexed by PC.
+func (p *Program) Decode() []Decoded {
+	out := make([]Decoded, len(p.Insts))
+	for pc := range p.Insts {
+		in := p.Insts[pc]
+		d := &out[pc]
+		d.Inst = in
+		d.Class = in.Op.Class()
+		d.InstAddr = p.InstAddr(int64(pc))
+		d.MemSize = in.Op.MemSize()
+		d.HasDest = in.HasDest()
+		d.IsLoad = in.Op.IsLoad()
+		d.IsStore = in.Op.IsStore()
+		d.IsBranch = in.Op.IsBranch()
+		d.IsControl = in.Op.IsControl()
+		d.NumSrcs = len(in.SrcRegs(d.SrcRegs[:0]))
+	}
+	return out
+}

@@ -67,9 +67,9 @@ func (e *Engine) auditSpawn(parent, child *thread, rd isa.Reg, loadU *uop, spawn
 	for r := 0; r < isa.NumRegs; r++ {
 		want := parent.lastWriter[r]
 		if isa.Reg(r) == rd {
-			want = nil
+			want = uopRef{}
 			if spawnOnly {
-				want = loadU
+				want = ref(loadU)
 			}
 		}
 		if child.lastWriter[r] != want {
@@ -95,7 +95,7 @@ func (e *Engine) auditKill(t *thread) {
 			continue
 		}
 		for r := 0; r < isa.NumRegs; r++ {
-			if w := o.lastWriter[r]; w != nil && w.thread == t {
+			if w := o.lastWriter[r].get(); w != nil && w.thread == t {
 				e.auditFail("surviving T%d/%d rename map reg %d names uop seq %d of killed T%d/%d",
 					o.id, o.order, r, w.seq, t.id, t.order)
 				return
@@ -148,7 +148,7 @@ func (e *Engine) auditScan() {
 
 		// Rename map must not dangle into killed threads.
 		for r := 0; r < isa.NumRegs; r++ {
-			if w := t.lastWriter[r]; w != nil && w.thread.killed {
+			if w := t.lastWriter[r].get(); w != nil && w.thread.killed {
 				e.auditFail("T%d/%d rename map reg %d names uop seq %d of killed T%d/%d",
 					t.id, t.order, r, w.seq, w.thread.id, w.thread.order)
 				return
@@ -174,7 +174,7 @@ func (e *Engine) auditScan() {
 				}
 			}
 		}
-		for _, u := range t.fetchBuf {
+		for _, u := range t.fetchBuf[t.fbHead:] {
 			if u.state == stFetched {
 				icount++
 			}

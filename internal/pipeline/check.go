@@ -92,7 +92,7 @@ func threadDrained(t *thread) bool {
 			return false
 		}
 	}
-	for _, u := range t.fetchBuf {
+	for _, u := range t.fetchBuf[t.fbHead:] {
 		if u.state != stSquashed {
 			return false
 		}

@@ -32,7 +32,7 @@ func (e *Engine) commit() {
 				return
 			}
 		}
-		t.compactROB()
+		e.compactROB(t)
 		if t.retiring && t.robEmpty() {
 			e.freeRetiring(t)
 		}
@@ -61,20 +61,19 @@ func (e *Engine) commitOne(t *thread, u *uop) {
 	}
 	e.emit(trace.KCommit, u)
 
-	op := u.ex.Inst.Op
 	switch {
-	case op.IsLoad():
+	case u.dec.IsLoad:
 		// Commit-time value-predictor training, as in the paper — but
 		// only from the non-speculative lineage: speculative threads
 		// commit out of program order relative to each other (and may be
 		// wrong-path entirely), and letting them train garbles the value
 		// history and pattern tables.
 		if t.promoted {
-			e.vp.Train(e.prog.InstAddr(u.ex.PC), u.ex.Value)
+			e.vp.Train(u.dec.InstAddr, u.ex.Value)
 		}
-	case op.IsStore():
+	case u.dec.IsStore:
 		e.commitStore(t, u)
-	case op == isa.HALT:
+	case u.dec.Inst.Op == isa.HALT:
 		if t.promoted {
 			e.finishAt(t)
 		} else {
@@ -122,8 +121,12 @@ func (e *Engine) freeRetiring(t *thread) {
 	t.retiring = false
 	t.live = false
 	e.slots[t.id] = nil
-	e.orderedDirty = true
+	e.threadRemoved(t)
 	t.overlay.Release()
+	// The drained ROB holds only committed/squashed uops; recycle them. Any
+	// remaining storeQ entries carry u == nil (their stores committed before
+	// the drain finished), so the transfer below never revives a freed uop.
+	e.freeROB(t)
 
 	if heir == nil {
 		// Every child of the confirmed event died with a mispredicted

@@ -160,8 +160,10 @@ func (e *Engine) resolveEvent(ev *vpEvent) {
 		// redundant post-load work the parent did under the no-stall
 		// policy is squashed now.
 		e.noteConfirmTelemetry(survivor, ev)
-		e.emitThreadPeer(trace.KConfirm, survivor, t, fmt.Sprintf("prediction at pc %d confirmed; T%d/%d retiring",
-			ev.load.ex.PC, t.id, t.order))
+		if e.tracer != nil {
+			e.emitThreadPeer(trace.KConfirm, survivor, t, fmt.Sprintf("prediction at pc %d confirmed; T%d/%d retiring",
+				ev.load.ex.PC, t.id, t.order))
+		}
 		e.squashYoungerThan(t, ev.load.seq)
 		t.retiring = true
 		t.stallFetch = false
@@ -189,7 +191,14 @@ func (e *Engine) noteWrongButPresent(ev *vpEvent) {
 // issued are untouched — they will simply issue with the right value.
 func (e *Engine) selectiveReissue(load *uop) {
 	seen := map[*uop]bool{load: true}
-	work := append([]*uop(nil), load.consumers...)
+	var work []*uop
+	for _, cr := range load.consumers {
+		// A stale ref names a recycled uop whose old lifetime already
+		// committed or squashed — exactly the states the walk skips.
+		if c := cr.get(); c != nil {
+			work = append(work, c)
+		}
+	}
 	for len(work) > 0 {
 		u := work[len(work)-1]
 		work = work[:len(work)-1]
@@ -208,7 +217,11 @@ func (e *Engine) selectiveReissue(load *uop) {
 			e.waiting[u.queue] = append(e.waiting[u.queue], u)
 			e.st.Reissues++
 			e.emit(trace.KReissue, u)
-			work = append(work, u.consumers...)
+			for _, cr := range u.consumers {
+				if c := cr.get(); c != nil {
+					work = append(work, c)
+				}
+			}
 		default:
 			// Waiting, fetched, or squashed: never executed with the
 			// wrong value; its consumers cannot have either.
@@ -230,12 +243,16 @@ func (e *Engine) squashYoungerThan(t *thread, seq uint64) {
 	}
 	// Drop squashed entries from the fetch buffer and store queue.
 	fb := t.fetchBuf[:0]
-	for _, u := range t.fetchBuf {
+	for _, u := range t.fetchBuf[t.fbHead:] {
 		if u.state != stSquashed {
 			fb = append(fb, u)
 		}
 	}
+	for i := len(fb); i < len(t.fetchBuf); i++ {
+		t.fetchBuf[i] = nil
+	}
 	t.fetchBuf = fb
+	t.fbHead = 0
 	sq := t.storeQ[:0]
 	for _, se := range t.storeQ {
 		if se.u == nil || se.u.state != stSquashed {
@@ -339,13 +356,16 @@ func (e *Engine) killOne(t *thread) {
 	e.st.Committed -= t.committed
 	e.st.Kills++
 	e.noteKillTelemetry(t)
-	e.emitThread(trace.KKill, t, fmt.Sprintf("committed %d discounted", t.committed))
+	if e.tracer != nil {
+		e.emitThread(trace.KKill, t, fmt.Sprintf("committed %d discounted", t.committed))
+	}
 	t.live = false
 	t.killed = true
 	t.retiring = false
-	e.orderedDirty = true
+	e.threadRemoved(t)
 	e.noteStoreFree(len(t.storeQ))
 	t.fetchBuf = nil
+	t.fbHead = 0
 	t.storeQ = nil
 	// The thread's commits were discounted from useful work above; the
 	// checker must never verify them.
@@ -355,4 +375,7 @@ func (e *Engine) killOne(t *thread) {
 	if e.auditOn {
 		e.auditKill(t)
 	}
+	// Recycle after the kill audit so dangling-rename checks still see the
+	// dead uops' original generations.
+	e.freeROB(t)
 }

@@ -3,7 +3,6 @@ package pipeline
 import (
 	"mtvp/internal/crit"
 	"mtvp/internal/fault"
-	"mtvp/internal/isa"
 	"mtvp/internal/trace"
 )
 
@@ -18,10 +17,11 @@ func (e *Engine) dispatch() {
 		if t.dispatchHold > e.now {
 			continue
 		}
-		for budget > 0 && len(t.fetchBuf) > 0 {
-			u := t.fetchBuf[0]
+		for budget > 0 && t.fetchBufLen() > 0 {
+			u := t.fetchBuf[t.fbHead]
 			if u.state == stSquashed {
-				t.fetchBuf = t.fetchBuf[1:]
+				t.fetchBuf[t.fbHead] = nil
+				t.fbHead++
 				continue
 			}
 			if u.fetchCycle+int64(e.cfg.FrontEndDepth) > e.now {
@@ -30,7 +30,8 @@ func (e *Engine) dispatch() {
 			if !e.tryDispatch(t, u) {
 				break
 			}
-			t.fetchBuf = t.fetchBuf[1:]
+			t.fetchBuf[t.fbHead] = nil
+			t.fbHead++
 			budget--
 		}
 	}
@@ -49,36 +50,37 @@ func (e *Engine) tryDispatch(t *thread, u *uop) bool {
 	if u.usesRename && e.renameUsed >= e.cfg.RenameRegs {
 		return false
 	}
-	isStore := u.ex.Inst.Op.IsStore()
+	isStore := u.dec.IsStore
 	if isStore && e.storeBufFull(t) {
 		return false
 	}
 
 	// Register dependences. The last-writer table may point at producers
-	// in ancestor threads (state copied at spawn).
-	var srcs [3]isa.Reg
-	for _, r := range u.ex.Inst.SrcRegs(srcs[:0]) {
-		w := t.lastWriter[r]
+	// in ancestor threads (state copied at spawn). A stale ref names a
+	// recycled uop that committed or was squashed in a past lifetime, which
+	// the pre-pool code skipped by state check.
+	for _, r := range u.dec.Srcs() {
+		w := t.lastWriter[r].get()
 		if w == nil || w.state == stCommitted || w.state == stSquashed {
 			continue
 		}
-		u.prods = append(u.prods, w)
-		w.consumers = append(w.consumers, u)
+		u.prods = append(u.prods, ref(w))
+		w.consumers = append(w.consumers, ref(u))
 	}
 
 	// Loads: find a forwarding store on the speculation chain, if any.
-	if u.ex.Inst.Op.IsLoad() {
-		if src, ok := t.forwardSource(u.seq, u.ex.Addr, u.ex.Inst.Op.MemSize()); ok {
+	if u.dec.IsLoad {
+		if src, ok := t.forwardSource(u.seq, u.ex.Addr, u.dec.MemSize); ok {
 			u.fwdStore = true
 			if src != nil && src.state != stCommitted && src.state != stSquashed {
-				u.fwdFrom = src
-				src.consumers = append(src.consumers, u)
+				u.fwdFrom = ref(src)
+				src.consumers = append(src.consumers, ref(u))
 			}
 		}
 	}
 
 	if u.hasDest {
-		t.lastWriter[u.ex.Inst.Rd] = u
+		t.lastWriter[u.ex.Inst.Rd] = ref(u)
 	}
 	if isStore {
 		if e.injectFault(fault.StoreDrop) {
@@ -89,7 +91,7 @@ func (e *Engine) tryDispatch(t *thread, u *uop) bool {
 		} else {
 			se := storeEntry{
 				addr: u.ex.Addr,
-				size: u.ex.Inst.Op.MemSize(),
+				size: u.dec.MemSize,
 				u:    u,
 			}
 			if e.injectFault(fault.StoreCorrupt) {

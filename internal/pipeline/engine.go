@@ -3,7 +3,7 @@ package pipeline
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"os"
 
 	"mtvp/internal/bpred"
 	"mtvp/internal/cache"
@@ -26,6 +26,7 @@ import (
 type Engine struct {
 	cfg  *config.Config
 	prog *isa.Program
+	dec  []isa.Decoded // predecode table, indexed by PC
 	mem  *mem.Memory
 
 	hier *cache.Hierarchy
@@ -52,11 +53,23 @@ type Engine struct {
 	haltedThread *thread
 	lastProgress int64 // cycle of the last commit (watchdog)
 
-	// ordered caches liveByOrder between thread-set changes. A rebuild
-	// allocates a fresh slice so snapshots held by in-flight iterations
-	// stay valid.
-	ordered      []*thread
-	orderedDirty bool
+	// ordered is the live threads oldest-first, maintained incrementally at
+	// spawn and death (ordCtr is monotone, so a new thread is always the
+	// youngest and appends in place). Every mutation builds a fresh slice so
+	// snapshots held by in-flight iterations stay valid.
+	ordered []*thread
+
+	// noFF disables idle-cycle fast-forward (Config.DisableFastForward or
+	// the MTVP_NO_FASTFWD environment variable); ffSkipped counts the idle
+	// cycles elided, for tests that need to prove the fast path engaged.
+	noFF      bool
+	ffSkipped uint64
+
+	// Hot-loop scratch, reused across cycles to keep the steady state
+	// allocation-free.
+	uopFree   []*uop
+	pickedBuf []*thread
+	readyBuf  []*uop
 
 	// pendingWindows holds resolved value-prediction events whose ILP-pred
 	// measurement window is still open: windows have a minimum length so a
@@ -144,7 +157,9 @@ func New(cfg *config.Config, prog *isa.Program, memory *mem.Memory, st *stats.St
 	e := &Engine{
 		cfg:     cfg,
 		prog:    prog,
+		dec:     prog.Decode(),
 		mem:     memory,
+		noFF:    cfg.DisableFastForward || os.Getenv("MTVP_NO_FASTFWD") != "",
 		hier:    cache.NewHierarchy(cfg, st),
 		bp:      bpred.New2bcgskew(cfg.Branch),
 		vp:      vpred.New(cfg),
@@ -184,7 +199,7 @@ func New(cfg *config.Config, prog *isa.Program, memory *mem.Memory, st *stats.St
 	root.ctx = isa.NewContext(prog, root.overlay)
 	e.ordCtr++
 	e.slots[0] = root
-	e.orderedDirty = true
+	e.ordered = []*thread{root}
 	return e, nil
 }
 
@@ -240,21 +255,28 @@ func (e *Engine) freeSlots() int {
 }
 
 // liveByOrder returns the live threads oldest-first. The result must be
-// treated as read-only; it is cached until the thread set changes.
-func (e *Engine) liveByOrder() []*thread {
-	if !e.orderedDirty {
-		return e.ordered
-	}
-	ts := make([]*thread, 0, len(e.slots))
-	for _, t := range e.slots {
-		if t != nil && t.live {
-			ts = append(ts, t)
+// treated as read-only; it is maintained incrementally by threadAdded and
+// threadRemoved, which build fresh slices — so a snapshot taken before a
+// thread-set change (killSubtree's iteration, for example) stays intact.
+func (e *Engine) liveByOrder() []*thread { return e.ordered }
+
+// threadAdded appends a newly spawned thread. ordCtr is monotone, so the
+// new thread is always the youngest and the list stays sorted.
+func (e *Engine) threadAdded(t *thread) {
+	next := make([]*thread, 0, len(e.ordered)+1)
+	next = append(next, e.ordered...)
+	e.ordered = append(next, t)
+}
+
+// threadRemoved drops a dead thread, preserving order.
+func (e *Engine) threadRemoved(t *thread) {
+	next := make([]*thread, 0, len(e.ordered))
+	for _, o := range e.ordered {
+		if o != t {
+			next = append(next, o)
 		}
 	}
-	sort.Slice(ts, func(i, j int) bool { return ts[i].order < ts[j].order })
-	e.ordered = ts
-	e.orderedDirty = false
-	return ts
+	e.ordered = next
 }
 
 // Run simulates until the useful-instruction budget is exhausted, the
@@ -274,54 +296,12 @@ const observeMask = 1<<10 - 1
 
 func (e *Engine) Run() error {
 	for !e.finished {
-		e.now++
-		e.commit()
-		if e.checkErr != nil {
-			e.st.Cycles = uint64(e.now)
-			return e.checkErr
+		stop, err := e.runCycle()
+		if err != nil {
+			return err
 		}
-		e.complete()
-		e.issue()
-		e.dispatch()
-		e.fetch()
-		if e.tel != nil {
-			e.telemetryCycle()
-		}
-		if e.auditOn {
-			if err := e.auditCycle(); err != nil {
-				e.st.Cycles = uint64(e.now)
-				return err
-			}
-		}
-
-		if e.st.Committed >= e.cfg.MaxInsts {
+		if stop {
 			break
-		}
-		if uint64(e.now) >= e.cfg.MaxCycles {
-			break
-		}
-		if e.cfg.Observe != nil && e.now&observeMask == 0 {
-			if !e.cfg.Observe(uint64(e.now), e.st.Committed) {
-				e.st.Cycles = uint64(e.now)
-				if e.tracer != nil {
-					e.tracer.Emit(trace.Event{
-						Cycle: e.now, Kind: trace.KCancel,
-						Thread: -1, PC: -1,
-						Text: "canceled by observer",
-					})
-				}
-				return ErrCanceled
-			}
-		}
-		// Commit-progress watchdog, with exponential backoff after each
-		// recovery so a break/re-stall loop terminates in bounded time.
-		if e.now-e.lastProgress > e.rec.watchdogBase*e.rec.backoff.Multiplier() {
-			if e.recoverStall() {
-				continue
-			}
-			e.st.Cycles = uint64(e.now)
-			return e.faultReport(fmt.Sprintf("no commit progress since cycle %d (now %d): %s",
-				e.lastProgress, e.now, e.describeStall()))
 		}
 	}
 	e.st.Cycles = uint64(e.now)
@@ -343,6 +323,219 @@ func (e *Engine) Run() error {
 		}
 	}
 	return nil
+}
+
+// runCycle simulates exactly one cycle (plus, at its end, any provably inert
+// cycles the fast-forward can elide). It reports whether the run should stop
+// and any terminal error, leaving Run itself a thin loop — and giving the
+// zero-allocation test a per-cycle unit to measure.
+func (e *Engine) runCycle() (stop bool, err error) {
+	e.now++
+	e.commit()
+	if e.checkErr != nil {
+		e.st.Cycles = uint64(e.now)
+		return true, e.checkErr
+	}
+	e.complete()
+	e.issue()
+	e.dispatch()
+	e.fetch()
+	if e.tel != nil {
+		e.telemetryCycle()
+	}
+	if e.auditOn {
+		if err := e.auditCycle(); err != nil {
+			e.st.Cycles = uint64(e.now)
+			return true, err
+		}
+	}
+
+	if e.st.Committed >= e.cfg.MaxInsts {
+		return true, nil
+	}
+	if uint64(e.now) >= e.cfg.MaxCycles {
+		return true, nil
+	}
+	if e.cfg.Observe != nil && e.now&observeMask == 0 {
+		if !e.cfg.Observe(uint64(e.now), e.st.Committed) {
+			e.st.Cycles = uint64(e.now)
+			if e.tracer != nil {
+				e.tracer.Emit(trace.Event{
+					Cycle: e.now, Kind: trace.KCancel,
+					Thread: -1, PC: -1,
+					Text: "canceled by observer",
+				})
+			}
+			return true, ErrCanceled
+		}
+	}
+	// Commit-progress watchdog, with exponential backoff after each
+	// recovery so a break/re-stall loop terminates in bounded time.
+	if e.now-e.lastProgress > e.rec.watchdogBase*e.rec.backoff.Multiplier() {
+		if !e.recoverStall() {
+			e.st.Cycles = uint64(e.now)
+			return true, e.faultReport(fmt.Sprintf("no commit progress since cycle %d (now %d): %s",
+				e.lastProgress, e.now, e.describeStall()))
+		}
+	}
+	if !e.noFF {
+		e.fastForward()
+	}
+	return false, nil
+}
+
+// fastForward elides cycles during which the machine provably cannot change
+// state: no thread can commit, complete, issue, dispatch, or fetch before
+// the earliest wake-up edge. It jumps `now` to the cycle before that edge —
+// the wake cycle itself then runs through the normal per-cycle loop — and
+// replays the only per-idle-cycle effects the skipped range would have had:
+// the FetchBlocked counter (fetch() increments it exactly once per cycle in
+// which no thread is fetch-eligible, which holds for every skipped cycle by
+// construction) and the telemetry probe's sample-bucket closes (gauges and
+// counters are constant over an inert range, so the closes are synthesized
+// with zero deltas; see Machine.TickIdleRange). Everything observable — the
+// stats, the time series, the Observe/watchdog/audit polling cycles — is
+// bit-identical to per-cycle execution, which the fast-forward A/B test and
+// the MTVP_NO_FASTFWD sweep enforce.
+func (e *Engine) fastForward() {
+	wake, ok := e.nextWake()
+	if !ok {
+		return
+	}
+	target := wake - 1
+	// Never skip past the cycle-budget boundary: the per-cycle machine
+	// still executes cycle MaxCycles before stopping.
+	if mc := e.cfg.MaxCycles; mc <= uint64(1)<<62 && target > int64(mc)-1 {
+		target = int64(mc) - 1
+	}
+	if target <= e.now {
+		return
+	}
+	if e.tel != nil {
+		e.telemetrySkip(e.now+1, target)
+	}
+	skipped := uint64(target - e.now)
+	e.st.FetchBlocked += skipped
+	e.ffSkipped += skipped
+	e.now = target
+}
+
+// nextWake computes the earliest future cycle at which the machine could
+// act, returning ok=false when the machine is not quiescent (some stage has
+// work right now, so no cycle may be skipped). Every state transition the
+// per-cycle loop could perform is either available now (not quiescent) or
+// gated by one of the enumerated edges:
+//
+//   - commit: a done/squashed ROB head, or a drained retiring thread, acts
+//     on the next cycle — not quiescent;
+//   - complete: pending completions wake at the heap's top cycle, and
+//     deferred ILP-pred windows flush at startCycle+windowMinCycles
+//     (flushWindows feeds the selector the then-current cycle, so the flush
+//     must happen on exactly that cycle);
+//   - issue: a ready, unstuck waiting uop issues now — not quiescent; a
+//     stuck one wakes when its stick elapses. Readiness only changes on
+//     completions or dispatches, both covered;
+//   - dispatch: a thread's head uop dispatches when its front-end delay and
+//     spawn hold expire — an edge if in the future, activity if resources
+//     are free now. If resources are exhausted, they can only be released
+//     by a commit, squash, or issue, all covered by other edges;
+//   - fetch: a fetch-eligible thread acts now; one gated only by
+//     fetchBlocked wakes then. All other gates (blockedOn, stallFetch,
+//     retiring, halt) clear solely through covered events;
+//   - environment: the Observe poll, the periodic audit scan, and the
+//     commit-progress watchdog run at fixed cycle edges and must observe
+//     identical cycles, so each caps the jump.
+func (e *Engine) nextWake() (int64, bool) {
+	// The watchdog edge always exists and bounds the skip.
+	wake := e.lastProgress + e.rec.watchdogBase*e.rec.backoff.Multiplier() + 1
+	edge := func(c int64) {
+		if c < wake {
+			wake = c
+		}
+	}
+
+	for _, t := range e.liveByOrder() {
+		if t.robHead < len(t.rob) {
+			switch t.rob[t.robHead].state {
+			case stDone, stSquashed:
+				return 0, false // commit acts next cycle
+			}
+		}
+		if t.retiring && t.robEmpty() {
+			return 0, false // freeRetiring acts next cycle
+		}
+		if t.fetchBufLen() > 0 {
+			u := t.fetchBuf[t.fbHead]
+			if u.state == stSquashed {
+				return 0, false // dispatch consumes it for free
+			}
+			dr := u.fetchCycle + int64(e.cfg.FrontEndDepth)
+			if t.dispatchHold > dr {
+				dr = t.dispatchHold
+			}
+			if dr > e.now {
+				edge(dr)
+			} else if e.dispatchResourcesFree(u) {
+				return 0, false
+			}
+			// Resource-blocked: wait for a commit/squash/issue edge.
+		}
+		if !t.retiring && !t.stallFetch && t.blockedOn == nil && !t.ctx.Halted &&
+			t.fetchBufLen() < e.fbufCap {
+			if t.fetchBlocked > e.now {
+				edge(t.fetchBlocked)
+			} else {
+				return 0, false // fetch-eligible now
+			}
+		}
+	}
+
+	for q := queueKind(0); q < numQueues; q++ {
+		for _, u := range e.waiting[q] {
+			if u.state != stWaiting {
+				continue
+			}
+			if u.stuckUntil > e.now {
+				edge(u.stuckUntil)
+				continue
+			}
+			if e.uopReady(u) {
+				return 0, false // issues next cycle
+			}
+		}
+	}
+
+	if len(e.completions.items) > 0 {
+		edge(e.completions.items[0].cycle)
+	}
+	for _, ev := range e.pendingWindows {
+		edge(ev.startCycle + windowMinCycles)
+	}
+	if e.cfg.Observe != nil {
+		edge((e.now | observeMask) + 1) // next poll cycle
+	}
+	if e.auditOn {
+		edge(e.now + auditInterval - e.now%auditInterval) // next scan cycle
+	}
+	return wake, true
+}
+
+// dispatchResourcesFree mirrors tryDispatch's structural-resource checks
+// without mutating anything (tryDispatch itself is pure on failure).
+func (e *Engine) dispatchResourcesFree(u *uop) bool {
+	if e.robUsed >= e.cfg.ROBSize {
+		return false
+	}
+	if e.qUsed[u.queue] >= e.qCap[u.queue] {
+		return false
+	}
+	if u.hasDest && e.renameUsed >= e.cfg.RenameRegs {
+		return false
+	}
+	if u.dec.IsStore && e.storeBufFull(u.thread) {
+		return false
+	}
+	return true
 }
 
 // breakDeadlock recovers from speculation-induced resource deadlock: a
@@ -408,7 +601,7 @@ func (e *Engine) describeStall() string {
 		e.qUsed[qInt], e.qUsed[qFP], e.qUsed[qMem])
 	for _, t := range e.liveByOrder() {
 		s += fmt.Sprintf(" T%d{ord=%d rob=%d fbuf=%d blocked=%d stall=%v retiring=%v spec=%v halted=%v pc=%d}",
-			t.id, t.order, t.robOccupied(), len(t.fetchBuf), t.fetchBlocked,
+			t.id, t.order, t.robOccupied(), t.fetchBufLen(), t.fetchBlocked,
 			t.stallFetch, t.retiring, t.isSpec(), t.ctx.Halted, t.ctx.PC)
 	}
 	return s

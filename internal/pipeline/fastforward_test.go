@@ -1,0 +1,222 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"mtvp/internal/asm"
+	"mtvp/internal/config"
+	"mtvp/internal/isa"
+	"mtvp/internal/mem"
+	"mtvp/internal/stats"
+	"mtvp/internal/telemetry"
+	"mtvp/internal/workload"
+)
+
+// TestFastForwardIsInvisible is the A/B guarantee behind idle-cycle
+// fast-forward: running the same machine on the same workload with the
+// optimization force-disabled must produce byte-identical statistics,
+// architectural register state, and telemetry time series. The fast path
+// must also actually engage (ffSkipped > 0), or the test proves nothing.
+func TestFastForwardIsInvisible(t *testing.T) {
+	t.Setenv("MTVP_NO_FASTFWD", "") // pin the env override off
+
+	cases := []struct {
+		name   string
+		cycles uint64
+		cfg    func() config.Config
+		bench  workload.Benchmark
+	}{
+		{
+			// Single thread over an L3-busting chase: almost every cycle
+			// between load returns is idle — the fast-forward's home turf.
+			name:   "miss-heavy-baseline",
+			cycles: 400_000,
+			cfg:    config.Baseline,
+			bench: workload.PointerChase("ab-miss", workload.INT, workload.ChaseParams{
+				Nodes: 1 << 18, NodeBytes: 64, PoolSize: 8,
+				DominantPct: 60, ReusePct: 30, SeqPct: 10, BodyOps: 4, Iters: 1 << 40,
+			}),
+		},
+		{
+			// MTVP8 with continuous spawn/confirm churn: exercises every
+			// wake-edge the quiescence scan must account for (spawn holds,
+			// retiring drains, pending windows, multi-thread fetch).
+			name:   "deep-speculation-mtvp8",
+			cycles: 150_000,
+			cfg:    func() config.Config { return mtvpOracleCfg(8) },
+			bench: workload.PointerChase("ab-spec", workload.INT, workload.ChaseParams{
+				Nodes: 1 << 16, NodeBytes: 64, PoolSize: 8,
+				DominantPct: 60, ReusePct: 30, SeqPct: 30, BodyOps: 8, Iters: 1 << 40,
+			}),
+		},
+	}
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			type outcome struct {
+				st     stats.Stats
+				regs   [isa.NumRegs]uint64
+				regsOK bool
+				halted bool
+				points []telemetry.Point
+				ff     uint64
+			}
+			run := func(disable bool) outcome {
+				cfg := c.cfg()
+				cfg.MaxInsts = 1 << 62
+				cfg.MaxCycles = c.cycles
+				cfg.DisableFastForward = disable
+				prog, image := c.bench.Build(1)
+				st := &stats.Stats{}
+				eng, err := New(&cfg, prog, image, st)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sampler := telemetry.NewSampler(0)
+				eng.SetTelemetry(telemetry.NewMachine(nil, sampler))
+				if err := eng.Run(); err != nil {
+					t.Fatal(err)
+				}
+				eng.FinishTelemetry()
+				regs, ok := eng.ArchRegs()
+				return outcome{
+					st: *st, regs: regs, regsOK: ok,
+					halted: eng.Halted(),
+					points: sampler.Points(),
+					ff:     eng.ffSkipped,
+				}
+			}
+
+			fast := run(false)
+			slow := run(true)
+
+			if fast.ff == 0 {
+				t.Errorf("fast-forward never engaged (ffSkipped = 0); A/B comparison is vacuous")
+			}
+			if slow.ff != 0 {
+				t.Errorf("DisableFastForward run skipped %d cycles", slow.ff)
+			}
+			if fast.st != slow.st {
+				t.Errorf("stats diverge:\nfast: %+v\nslow: %+v", fast.st, slow.st)
+			}
+			if fast.regsOK != slow.regsOK || fast.regs != slow.regs {
+				t.Errorf("architectural registers diverge:\nfast: ok=%v %v\nslow: ok=%v %v",
+					fast.regsOK, fast.regs, slow.regsOK, slow.regs)
+			}
+			if fast.halted != slow.halted {
+				t.Errorf("halted diverges: fast=%v slow=%v", fast.halted, slow.halted)
+			}
+			if !reflect.DeepEqual(fast.points, slow.points) {
+				t.Errorf("telemetry time series diverge: fast has %d points, slow has %d",
+					len(fast.points), len(slow.points))
+			}
+		})
+	}
+}
+
+// missRing builds a load-only pointer ring far larger than the L3, so every
+// chase step is a full memory-latency miss with nothing else in flight: the
+// steady state is one long idle stretch per load, all of it fast-forwarded.
+// No stores means the functional overlay never grows, which is what lets the
+// idle regime hold a zero-allocation steady state.
+func missRing(nodes int) (*isa.Program, *mem.Memory) {
+	const nodeBytes = 64
+	const base = uint64(0x100000)
+	r := mem.NewRand(7)
+	perm := make([]int, nodes)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := nodes - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	addr := func(i int) uint64 { return base + uint64(i)*nodeBytes }
+	m := mem.New()
+	for i := 0; i < nodes; i++ {
+		m.Store(addr(perm[i]), 8, addr(perm[(i+1)%nodes]))
+	}
+
+	b := asm.New("miss-ring")
+	b.Liu(isa.R1, addr(perm[0]))
+	b.Label("loop")
+	b.Ld(isa.R1, isa.R1, 0)
+	b.Addi(isa.R2, isa.R2, 1)
+	b.J("loop")
+	b.Halt()
+	return b.MustBuild(), m
+}
+
+// TestZeroAllocSteadyState pins the hot loop's allocation behaviour: once
+// the engine is warm (slices at capacity, uop pool populated, overlay keys
+// touched), a simulated cycle must not allocate at all — neither on the
+// commit-every-cycle path nor on the fast-forwarded idle path.
+func TestZeroAllocSteadyState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("warmup is a few hundred ms per case")
+	}
+	t.Setenv("MTVP_NO_FASTFWD", "")
+
+	cases := []struct {
+		name  string
+		build func() (*isa.Program, *mem.Memory)
+		warm  int
+	}{
+		{
+			// DL1-resident chase, commits nearly every cycle: exercises
+			// fetch/dispatch/issue/commit and uop recycling. Stores revisit
+			// the same node addresses, so the overlay map stops growing
+			// after the first traversal.
+			name: "hit-heavy",
+			build: func() (*isa.Program, *mem.Memory) {
+				return workload.PointerChase("zeroalloc-hit", workload.INT, workload.ChaseParams{
+					Nodes: 256, NodeBytes: 64, PoolSize: 8,
+					DominantPct: 60, ReusePct: 30, SeqPct: 90, BodyOps: 12, Iters: 1 << 40,
+				}).Build(1)
+			},
+			warm: 80_000,
+		},
+		{
+			// Load-only miss ring: ~1000 idle cycles per chase step, all
+			// fast-forwarded — pins the nextWake/fastForward path itself.
+			name:  "miss-idle",
+			build: func() (*isa.Program, *mem.Memory) { return missRing(1 << 17) },
+			warm:  80_000,
+		},
+	}
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := config.Baseline()
+			cfg.MaxInsts = 1 << 62
+			cfg.MaxCycles = 1 << 40
+			// The stride prefetcher's stream-tracking maps churn entries;
+			// it stays on in benchmarks but is out of scope for the
+			// zero-alloc pin.
+			cfg.Prefetch.Enabled = false
+			prog, image := c.build()
+			st := &stats.Stats{}
+			eng, err := New(&cfg, prog, image, st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < c.warm; i++ {
+				if stop, err := eng.runCycle(); err != nil || stop {
+					t.Fatalf("warmup ended early at cycle %d: stop=%v err=%v", eng.now, stop, err)
+				}
+			}
+			avg := testing.AllocsPerRun(300, func() {
+				if _, err := eng.runCycle(); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg != 0 {
+				t.Errorf("steady-state cycle allocates: %.2f allocs/cycle", avg)
+			}
+			if st.Committed == 0 {
+				t.Fatal("workload committed nothing; the steady state measured is vacuous")
+			}
+		})
+	}
+}

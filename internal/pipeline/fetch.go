@@ -20,22 +20,29 @@ func (e *Engine) fetch() {
 	if perThread < 1 {
 		perThread = 1
 	}
-	picked := map[*thread]bool{}
+	picked := e.pickedBuf[:0]
 	for b := 0; b < e.cfg.FetchBlocks; b++ {
 		t := e.pickFetchThread(picked)
 		if t == nil {
 			e.st.FetchBlocked++
-			return
+			break
 		}
-		picked[t] = true
+		picked = append(picked, t)
 		e.fetchFrom(t, perThread)
 	}
+	e.pickedBuf = picked
 }
 
-func (e *Engine) pickFetchThread(picked map[*thread]bool) *thread {
+func (e *Engine) pickFetchThread(picked []*thread) *thread {
 	var best *thread
+next:
 	for _, t := range e.liveByOrder() {
-		if picked[t] || !e.canFetch(t) {
+		for _, p := range picked {
+			if p == t {
+				continue next
+			}
+		}
+		if !e.canFetch(t) {
 			continue
 		}
 		if best == nil || t.icount < best.icount {
@@ -51,7 +58,7 @@ func (e *Engine) canFetch(t *thread) bool {
 		t.blockedOn == nil &&
 		t.fetchBlocked <= e.now &&
 		!t.ctx.Halted &&
-		len(t.fetchBuf) < e.fbufCap
+		t.fetchBufLen() < e.fbufCap
 }
 
 func (e *Engine) fetchFrom(t *thread, max int) {
@@ -60,13 +67,14 @@ func (e *Engine) fetchFrom(t *thread, max int) {
 		if !e.canFetch(t) {
 			return
 		}
-		in, ok := t.ctx.Peek()
-		if !ok {
-			return
+		pc := t.ctx.PC
+		if pc < 0 || pc >= int64(len(e.dec)) {
+			return // past the end of the program; Step will halt the context
 		}
+		d := &e.dec[pc]
 
 		// Instruction cache: one access per line touched.
-		line := e.prog.InstAddr(t.ctx.PC) &^ uint64(e.cfg.ICache.LineBytes-1)
+		line := d.InstAddr &^ uint64(e.cfg.ICache.LineBytes-1)
 		if line != lastLine {
 			ready := e.hier.InstFetch(line, e.now)
 			if ready > e.now+int64(e.cfg.ICache.Latency) {
@@ -79,16 +87,15 @@ func (e *Engine) fetchFrom(t *thread, max int) {
 		// Value prediction hook: decide before the load executes so a
 		// spawned thread can fork from the pre-load register state.
 		var ev *vpEvent
-		if in.Op.IsLoad() && e.cfg.VP.Mode != config.VPNone {
-			ev = e.vpDecide(t, in)
+		if d.IsLoad && e.cfg.VP.Mode != config.VPNone {
+			ev = e.vpDecide(t, d)
 		}
 
-		pc := t.ctx.PC
 		ex, ok := t.ctx.Step()
 		if !ok {
 			return
 		}
-		u := e.newUop(t, ex)
+		u := e.newUop(t, ex, d)
 		if ev != nil {
 			u.vp = ev
 			ev.load = u
@@ -100,11 +107,10 @@ func (e *Engine) fetchFrom(t *thread, max int) {
 			}
 		}
 
-		if in.Op.IsBranch() {
+		if d.IsBranch {
 			e.st.Branches++
-			iaddr := e.prog.InstAddr(pc)
-			pred := e.bp.Predict(iaddr)
-			e.bp.Update(iaddr, ex.Taken)
+			pred := e.bp.Predict(d.InstAddr)
+			e.bp.Update(d.InstAddr, ex.Taken)
 			if pred != ex.Taken {
 				e.st.BranchWrong++
 				u.mispredicted = true
@@ -114,8 +120,8 @@ func (e *Engine) fetchFrom(t *thread, max int) {
 			if ex.Taken {
 				return // taken branch ends this thread's fetch block
 			}
-		} else if in.Op.IsControl() {
-			switch in.Op {
+		} else if d.IsControl {
+			switch d.Inst.Op {
 			case isa.JAL:
 				t.rasPush(pc + 1)
 			case isa.JR:
@@ -135,7 +141,7 @@ func (e *Engine) fetchFrom(t *thread, max int) {
 	}
 }
 
-func (e *Engine) newUop(t *thread, ex isa.Exec) *uop {
+func (e *Engine) newUop(t *thread, ex isa.Exec, d *isa.Decoded) *uop {
 	e.seqCtr++
 	fetchCycle := e.now
 	if t.pipeWarm > 0 {
@@ -143,17 +149,18 @@ func (e *Engine) newUop(t *thread, ex isa.Exec) *uop {
 		fetchCycle = e.now - int64(e.cfg.FrontEndDepth)
 		t.pipeWarm--
 	}
-	u := &uop{
-		seq:        e.seqCtr,
-		thread:     t,
-		ex:         ex,
-		class:      ex.Inst.Op.Class(),
-		state:      stFetched,
-		fetchCycle: fetchCycle,
-		hasDest:    ex.Inst.HasDest(),
-	}
-	u.queue = queueFor(u.class)
+	u := e.allocUop()
+	u.seq = e.seqCtr
+	u.thread = t
+	u.ex = ex
+	u.dec = d
+	u.class = d.Class
+	u.queue = queueFor(d.Class)
+	u.state = stFetched
+	u.fetchCycle = fetchCycle
+	u.hasDest = d.HasDest
 	t.rob = append(t.rob, u)
+	t.compactFetchBuf()
 	t.fetchBuf = append(t.fetchBuf, u)
 	t.icount++
 	e.st.Fetched++
@@ -164,16 +171,17 @@ func (e *Engine) newUop(t *thread, ex isa.Exec) *uop {
 // vpDecide consults the value predictor and the criticality selector for
 // the load the thread is about to execute, returning the event to attach to
 // the load's uop (nil when nothing is predicted or measured).
-func (e *Engine) vpDecide(t *thread, in isa.Inst) *vpEvent {
+func (e *Engine) vpDecide(t *thread, dec *isa.Decoded) *vpEvent {
 	// The degradation ladder may have capped this context's speculation
 	// below the configured mode (recover.go).
 	mode := e.effectiveMode(t.id)
 	if mode == config.VPNone {
 		return nil
 	}
+	in := dec.Inst
 	addr := t.ctx.EffAddr(in)
-	actual := t.ctx.Mem.Load(addr, in.Op.MemSize())
-	pcAddr := e.prog.InstAddr(t.ctx.PC)
+	actual := t.ctx.Mem.Load(addr, dec.MemSize)
+	pcAddr := dec.InstAddr
 
 	e.st.VPLookups++
 	lookupPC := pcAddr
@@ -216,11 +224,11 @@ func (e *Engine) vpDecide(t *thread, in isa.Inst) *vpEvent {
 		e.freeSlot() >= 0 &&
 		t.pendingSpawn == nil
 	level := e.hier.ProbeLevel(addr)
-	d := e.sel.Select(pcAddr, level, mtvpOK)
+	decision := e.sel.Select(pcAddr, level, mtvpOK)
 
 	ev := &vpEvent{
 		pc:            pcAddr,
-		mode:          d,
+		mode:          decision,
 		predicted:     pr.Value,
 		actual:        actual,
 		correct:       pr.Value == actual,
@@ -228,7 +236,7 @@ func (e *Engine) vpDecide(t *thread, in isa.Inst) *vpEvent {
 		startCycle:    e.now,
 		startProgress: e.st.Committed,
 	}
-	switch d {
+	switch decision {
 	case crit.DecideNone:
 		ev.measureOnly = true
 	case crit.DecideSTVP:
@@ -326,13 +334,13 @@ func (e *Engine) spawn(t *thread, loadU *uop, ev *vpEvent) {
 		}
 		if ev.spawnOnly {
 			// Dependents of the load wait for the real value.
-			c.lastWriter[in.Rd] = loadU
+			c.lastWriter[in.Rd] = ref(loadU)
 		} else {
 			// The predicted value is immediately available.
-			c.lastWriter[in.Rd] = nil
+			c.lastWriter[in.Rd] = uopRef{}
 		}
 		e.slots[slot] = c
-		e.orderedDirty = true
+		e.threadAdded(c)
 		ev.children = append(ev.children, c)
 		ev.childVals = append(ev.childVals, v)
 		if e.auditOn {
@@ -351,8 +359,10 @@ func (e *Engine) spawn(t *thread, loadU *uop, ev *vpEvent) {
 	e.st.Spawns += uint64(len(ev.children))
 	for i, c := range ev.children {
 		e.noteSpawnTelemetry(c)
-		e.emitThreadPeer(trace.KSpawn, c, t, fmt.Sprintf("from T%d/%d at pc %d value %#x",
-			t.id, t.order, loadU.ex.PC, ev.childVals[i]))
+		if e.tracer != nil {
+			e.emitThreadPeer(trace.KSpawn, c, t, fmt.Sprintf("from T%d/%d at pc %d value %#x",
+				t.id, t.order, loadU.ex.PC, ev.childVals[i]))
+		}
 	}
 	t.pendingSpawn = ev
 	if e.cfg.VP.FetchPolicy == config.FetchSFP {

@@ -15,7 +15,7 @@ func (e *Engine) issue() {
 	total := e.cfg.IssueWidth
 	intLeft, fpLeft, memLeft := e.cfg.IntIssue, e.cfg.FPIssue, e.cfg.MemIssue
 
-	var ready []*uop
+	ready := e.readyBuf[:0]
 	for q := queueKind(0); q < numQueues; q++ {
 		e.compactQueue(q)
 		for _, u := range e.waiting[q] {
@@ -24,9 +24,10 @@ func (e *Engine) issue() {
 			}
 		}
 	}
-	sort.Slice(ready, func(i, j int) bool { return ready[i].seq < ready[j].seq })
+	e.readyBuf = ready
+	sort.Sort((*uopsBySeq)(&e.readyBuf))
 
-	for _, u := range ready {
+	for _, u := range e.readyBuf {
 		if total == 0 {
 			break
 		}
@@ -61,12 +62,12 @@ func (e *Engine) issue() {
 // uopReady reports whether all of u's producers have results (or offer
 // speculative ones) and any forwarding store has executed.
 func (e *Engine) uopReady(u *uop) bool {
-	for _, p := range u.prods {
-		if !producerReady(p) {
+	for _, pr := range u.prods {
+		if p := pr.get(); p != nil && !producerReady(p) {
 			return false
 		}
 	}
-	if u.fwdFrom != nil && !producerReady(u.fwdFrom) {
+	if f := u.fwdFrom.get(); f != nil && !producerReady(f) {
 		return false
 	}
 	return true
@@ -98,7 +99,7 @@ func (e *Engine) latencyOf(u *uop) int64 {
 			e.st.StoreBufHits++
 			return int64(cfg.DL1.Latency)
 		}
-		pcAddr := e.prog.InstAddr(u.ex.PC)
+		pcAddr := u.dec.InstAddr
 		ready, lvl := e.hier.Load(pcAddr, u.ex.Addr, e.now)
 		u.hitLevel = lvl
 		lat := ready - e.now

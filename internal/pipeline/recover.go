@@ -110,7 +110,9 @@ func (e *Engine) injectFault(k fault.Kind) bool {
 	case fault.IQStick:
 		e.st.FaultIQStick++
 	}
-	e.emitSlot(trace.KFault, -1, "injected "+k.String())
+	if e.tracer != nil {
+		e.emitSlot(trace.KFault, -1, "injected "+k.String())
+	}
 	return true
 }
 
@@ -146,7 +148,7 @@ func (e *Engine) noteOutcome(t *thread, correct bool) {
 		return
 	}
 	if correct {
-		if q.OnCorrect() {
+		if q.OnCorrect() && e.tracer != nil {
 			e.emitSlot(trace.KQuarantine, t.id, "relaxed to "+q.State().String())
 		}
 		return
@@ -158,7 +160,9 @@ func (e *Engine) noteOutcome(t *thread, correct bool) {
 		case fault.QDisabled:
 			e.st.QuarantineDisables++
 		}
-		e.emitSlot(trace.KQuarantine, t.id, "escalated to "+q.State().String())
+		if e.tracer != nil {
+			e.emitSlot(trace.KQuarantine, t.id, "escalated to "+q.State().String())
+		}
 	}
 }
 
@@ -174,10 +178,12 @@ func (e *Engine) noteCommitProgress() {
 	for slot, l := range r.ladders {
 		if l.Progress(1) {
 			e.st.Restorations++
-			e.emitSlot(trace.KRestore, slot, "speculation restored to "+l.Level().String())
+			if e.tracer != nil {
+				e.emitSlot(trace.KRestore, slot, "speculation restored to "+l.Level().String())
+			}
 		}
 		if r.quars != nil {
-			if q := r.quars[slot]; q.Tick() {
+			if q := r.quars[slot]; q.Tick() && e.tracer != nil {
 				e.emitSlot(trace.KQuarantine, slot, "decayed to "+q.State().String())
 			}
 		}
@@ -225,7 +231,9 @@ func (e *Engine) unstickQueues() bool {
 		return false
 	}
 	e.st.RecoveryUnsticks += uint64(n)
-	e.emitSlot(trace.KRecover, -1, fmt.Sprintf("force-cleared %d stuck issue-queue slots", n))
+	if e.tracer != nil {
+		e.emitSlot(trace.KRecover, -1, fmt.Sprintf("force-cleared %d stuck issue-queue slots", n))
+	}
 	return true
 }
 
@@ -251,7 +259,9 @@ func (e *Engine) degradeAll() bool {
 			}
 		}
 		stepped = true
-		e.emitSlot(trace.KDegrade, slot, "speculation degraded to "+l.Level().String())
+		if e.tracer != nil {
+			e.emitSlot(trace.KDegrade, slot, "speculation degraded to "+l.Level().String())
+		}
 	}
 	if !stepped {
 		return false

@@ -17,6 +17,14 @@ func (e *Engine) telemetryCycle() {
 	e.tel.Tick(e.now, e.telemetryGauges(), e.telemetryCounters())
 }
 
+// telemetrySkip feeds the probe a fast-forwarded idle span [from, to]. The
+// engine's counters and gauges are frozen across the span (that is what made
+// it skippable), so the probe can close every sample bucket that would have
+// closed during it from the one snapshot, byte-identically to per-cycle Ticks.
+func (e *Engine) telemetrySkip(from, to int64) {
+	e.tel.TickIdleRange(from, to, e.telemetryGauges(), e.telemetryCounters())
+}
+
 // FinishTelemetry closes the probe's final partial sample bucket. Call
 // once, after Run returns (the statistics of canceled and aborted runs are
 // valid up to their final cycle, so their tail bucket is too).

@@ -55,9 +55,12 @@ type thread struct {
 	rob     []*uop
 	robHead int
 
-	// Front end.
-	fetchBuf     []*uop // fetched, not yet dispatched
-	fetchBlocked int64  // no fetch until this cycle
+	// Front end. fetchBuf is consumed from fbHead (a head index instead of
+	// re-slicing keeps dispatch allocation-free; the consumed prefix is
+	// compacted away periodically).
+	fetchBuf     []*uop // fetched, not yet dispatched; live from fbHead
+	fbHead       int
+	fetchBlocked int64 // no fetch until this cycle
 	blockedOn    *uop   // mispredicted branch gating fetch (nil = time gate)
 	stallFetch   bool   // SFP: stalled after spawning, until resolution
 	retiring     bool   // confirmed-away parent draining its final commits
@@ -72,7 +75,10 @@ type thread struct {
 	dispatchHold int64
 
 	// Per-architectural-register last writer, for dependence tracking.
-	lastWriter [isa.NumRegs]*uop
+	// Generation-checked refs: a stale entry names a recycled uop that
+	// committed or was squashed in a previous lifetime, which dependence
+	// tracking always skipped anyway.
+	lastWriter [isa.NumRegs]uopRef
 
 	// Return-address stack for predicting JR targets. Per-context state,
 	// copied on spawn like the register map.
@@ -111,22 +117,16 @@ func (t *thread) isSpec() bool {
 	return false
 }
 
+// fetchBufLen returns the number of unconsumed fetch-buffer entries.
+func (t *thread) fetchBufLen() int { return len(t.fetchBuf) - t.fbHead }
+
 // robEmpty reports whether every fetched uop has committed or been squashed.
 func (t *thread) robEmpty() bool {
-	return t.robHead >= len(t.rob) && len(t.fetchBuf) == 0
+	return t.robHead >= len(t.rob) && t.fetchBufLen() == 0
 }
 
 // robOccupied returns the number of live, uncommitted uops.
 func (t *thread) robOccupied() int { return len(t.rob) - t.robHead }
-
-// compactROB drops committed prefix entries once they dominate the slice.
-func (t *thread) compactROB() {
-	if t.robHead > 256 && t.robHead > len(t.rob)/2 {
-		n := copy(t.rob, t.rob[t.robHead:])
-		t.rob = t.rob[:n]
-		t.robHead = 0
-	}
-}
 
 // storeQFull reports whether the thread's store buffer is at capacity.
 func (t *thread) storeQFull(capacity int) bool {
@@ -143,10 +143,10 @@ func (t *thread) forwardSource(loadSeq uint64, addr uint64, size int) (*uop, boo
 		// In-flight stores, newest first, older than the load.
 		for i := len(cur.rob) - 1; i >= cur.robHead; i-- {
 			s := cur.rob[i]
-			if s.seq >= loadSeq || !s.ex.Inst.Op.IsStore() || s.state == stSquashed {
+			if s.seq >= loadSeq || !s.dec.IsStore || s.state == stSquashed {
 				continue
 			}
-			if overlaps(s.ex.Addr, s.ex.Inst.Op.MemSize(), addr, size) {
+			if overlaps(s.ex.Addr, s.dec.MemSize, addr, size) {
 				return s, true
 			}
 		}

@@ -14,8 +14,6 @@
 package pipeline
 
 import (
-	"container/heap"
-
 	"mtvp/internal/cache"
 	"mtvp/internal/isa"
 )
@@ -51,15 +49,20 @@ func queueFor(c isa.Class) queueKind {
 	}
 }
 
-// uop is one in-flight instruction.
+// uop is one in-flight instruction. uops are recycled through the engine's
+// free list (pool.go): `gen` is bumped every time a uop is freed, so a
+// uopRef taken in a previous lifetime can be detected as stale instead of
+// silently aliasing the new occupant.
 type uop struct {
 	seq    uint64
 	thread *thread
 	ex     isa.Exec
+	dec    *isa.Decoded // predecode-table entry for ex.Inst
 	class  isa.Class
 	queue  queueKind
 
 	state    uopState
+	gen      uint32 // pool lifetime; incremented on free
 	issueGen uint32 // invalidates stale completion-heap entries
 
 	fetchCycle    int64
@@ -67,12 +70,12 @@ type uop struct {
 	doneCycle     int64
 
 	pendingSrcs int
-	prods       []*uop // producers this uop waited on (for reissue)
-	consumers   []*uop // uops that depend on this one's result
+	prods       []uopRef // producers this uop waited on (for reissue)
+	consumers   []uopRef // uops that depend on this one's result
 
 	// Memory.
-	fwdFrom  *uop // store this load forwards from (nil = cache access)
-	fwdStore bool // load forwards from a store buffer / queue entry
+	fwdFrom  uopRef // store this load forwards from (zero = cache access)
+	fwdStore bool   // load forwards from a store buffer / queue entry
 	hitLevel cache.HitLevel
 
 	// Branch.
@@ -88,7 +91,35 @@ type uop struct {
 
 	hasDest    bool
 	usesRename bool
+	pooled     bool // on the free list (double-free guard)
 }
+
+// uopRef is a generation-validated reference to a pooled uop. A ref goes
+// stale when its target is freed — which only happens after the target
+// committed or was squashed — so every consumer of a stale ref treats it
+// exactly as it treated a committed/squashed pointer before pooling.
+type uopRef struct {
+	u   *uop
+	gen uint32
+}
+
+func ref(u *uop) uopRef { return uopRef{u: u, gen: u.gen} }
+
+// get returns the referenced uop, or nil when the ref is empty or stale.
+func (r uopRef) get() *uop {
+	if r.u == nil || r.u.gen != r.gen {
+		return nil
+	}
+	return r.u
+}
+
+// uopsBySeq sorts ready uops oldest-first. A pointer receiver keeps the
+// sort.Interface conversion allocation-free in the issue hot loop.
+type uopsBySeq []*uop
+
+func (s *uopsBySeq) Len() int           { return len(*s) }
+func (s *uopsBySeq) Less(i, j int) bool { return (*s)[i].seq < (*s)[j].seq }
+func (s *uopsBySeq) Swap(i, j int)      { (*s)[i], (*s)[j] = (*s)[j], (*s)[i] }
 
 // producerReady reports whether a producer no longer blocks its consumers:
 // it has a result (done or committed), offers a speculative value (STVP),
@@ -102,7 +133,13 @@ func producerReady(p *uop) bool {
 	return p.specReady
 }
 
-// uopHeap orders pending completions by doneCycle.
+// uopHeap orders pending completions by doneCycle. It is a hand-rolled
+// binary min-heap rather than container/heap because the latter boxes every
+// pushed and popped element through interface{}, allocating twice per issued
+// uop. The sift-up/sift-down below replicate container/heap's algorithm
+// move for move (same comparisons, same swap order), so the pop order among
+// equal-cycle entries — and therefore every simulated outcome — is
+// bit-identical to the previous implementation.
 type uopHeap struct {
 	items []heapItem
 }
@@ -113,20 +150,47 @@ type heapItem struct {
 	u     *uop
 }
 
-func (h *uopHeap) Len() int           { return len(h.items) }
-func (h *uopHeap) Less(i, j int) bool { return h.items[i].cycle < h.items[j].cycle }
-func (h *uopHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *uopHeap) Push(x interface{}) { h.items = append(h.items, x.(heapItem)) }
-func (h *uopHeap) Pop() interface{} {
-	old := h.items
-	n := len(old)
-	it := old[n-1]
-	h.items = old[:n-1]
-	return it
-}
+func (h *uopHeap) Len() int { return len(h.items) }
 
 func (h *uopHeap) schedule(u *uop, cycle int64) {
-	heap.Push(h, heapItem{cycle: cycle, gen: u.issueGen, u: u})
+	h.items = append(h.items, heapItem{cycle: cycle, gen: u.issueGen, u: u})
+	// Sift up, as container/heap.Push would.
+	j := len(h.items) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(h.items[j].cycle < h.items[i].cycle) {
+			break
+		}
+		h.items[i], h.items[j] = h.items[j], h.items[i]
+		j = i
+	}
+}
+
+// popTop removes and returns the minimum element, replicating
+// container/heap.Pop's swap-to-end-then-sift-down exactly.
+func (h *uopHeap) popTop() heapItem {
+	n := len(h.items) - 1
+	h.items[0], h.items[n] = h.items[n], h.items[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h.items[j2].cycle < h.items[j1].cycle {
+			j = j2
+		}
+		if !(h.items[j].cycle < h.items[i].cycle) {
+			break
+		}
+		h.items[i], h.items[j] = h.items[j], h.items[i]
+		i = j
+	}
+	it := h.items[n]
+	h.items[n] = heapItem{}
+	h.items = h.items[:n]
+	return it
 }
 
 // pop returns the next uop whose completion is due at or before now,
@@ -137,7 +201,7 @@ func (h *uopHeap) pop(now int64) (*uop, bool) {
 		if top.cycle > now {
 			return nil, false
 		}
-		heap.Pop(h)
+		h.popTop()
 		if top.u.state == stIssued && top.u.issueGen == top.gen {
 			return top.u, true
 		}

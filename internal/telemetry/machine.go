@@ -105,6 +105,26 @@ func (m *Machine) Tick(cycle int64, g CycleGauges, c CycleCounters) {
 	}
 }
 
+// TickIdleRange feeds a fast-forwarded idle cycle span [from, to] in one
+// call. The caller guarantees the machine was frozen across the span: the
+// gauges and cumulative counters it passes held at every cycle in it. The
+// gauges are set once and the sampler closes every bucket that would have
+// closed during the span, producing byte-identical points to per-cycle
+// Ticks (each close sees the same frozen snapshot a real tick would have).
+func (m *Machine) TickIdleRange(from, to int64, g CycleGauges, c CycleCounters) {
+	m.ROBUsed.Set(int64(g.ROBUsed))
+	m.RenameUsed.Set(int64(g.RenameUsed))
+	m.IQUsed.Set(int64(g.IQUsed))
+	m.FQUsed.Set(int64(g.FQUsed))
+	m.MQUsed.Set(int64(g.MQUsed))
+	m.StoreBufUsed.Set(int64(g.StoreBufUsed))
+	m.LiveThreads.Set(int64(g.LiveThreads))
+	m.SpecThreads.Set(int64(g.SpecThreads))
+	if m.sampler != nil {
+		m.sampler.tickIdleRange(from, to, g, c)
+	}
+}
+
 // Finish closes the sampler's final partial bucket (call once, when the
 // run ends).
 func (m *Machine) Finish(cycle int64, g CycleGauges, c CycleCounters) {
@@ -184,6 +204,19 @@ func (s *Sampler) tick(cycle int64, g CycleGauges, c CycleCounters) {
 		return
 	}
 	s.close(cycle, g, c)
+}
+
+// tickIdleRange replays per-cycle ticks over an idle span [from, to] where
+// the gauge/counter snapshot held constant, closing exactly the buckets the
+// per-cycle loop would have closed, at the same cycles, with the same data.
+func (s *Sampler) tickIdleRange(from, to int64, g CycleGauges, c CycleCounters) {
+	if !s.started {
+		s.started = true
+		s.lastCycle = from - 1
+	}
+	for s.lastCycle+s.every() <= to {
+		s.close(s.lastCycle+s.every(), g, c)
+	}
 }
 
 func (s *Sampler) finish(cycle int64, g CycleGauges, c CycleCounters) {
