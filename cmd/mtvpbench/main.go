@@ -6,7 +6,7 @@
 //	mtvpbench -exp all -insts 200000 # everything (slow)
 //
 // Experiments: table1, fig1, fig2, sb, fig3, dfcm, fig4, fig5, multival,
-// fig6, prefetch, selector, robust, all.
+// fig6, sharing, prefetch, selector, robust, all.
 //
 // The -faults flag arms a fault-injection profile (see internal/fault) on
 // every simulated machine of the selected experiment; `-exp robust` runs
@@ -205,6 +205,7 @@ func main() {
 		{"fig5", experiments.Fig5},
 		{"multival", experiments.MultiValue},
 		{"fig6", experiments.Fig6},
+		{"sharing", experiments.SharingStudy},
 		{"prefetch", experiments.PrefetchAblation},
 		{"selector", experiments.SelectorCompare},
 		{"sborg", experiments.StoreBufferOrg},

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	mtvpsim -bench mcf -machine mtvp -contexts 4 -pred wf -sel ilp
+//	mtvpsim -bench mcf -machine mtvp -contexts 4 -vpred wf -sel ilp
+//	mtvpsim -bench mcf -machine mtvp -vpred vpq-stride -vpred-sharing private
 //	mtvpsim -bench mcf -machine mtvp -check -faults spawn-storm
 //	mtvpsim -bench mcf -deadline 30s   # cancel cooperatively if it wedges
 //	mtvpsim -list
@@ -69,7 +70,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		benchName = fs.String("bench", "mcf", "benchmark name (see -list)")
 		machine   = fs.String("machine", "baseline", "baseline | stvp | mtvp | mtvp-nostall | multival | spawn-only | wide-window")
 		contexts  = fs.Int("contexts", 4, "hardware thread contexts (mtvp machines)")
-		pred      = fs.String("pred", "wf", "value predictor: oracle | wf | dfcm | fcm | lastvalue | stride")
+		pred      = fs.String("pred", "wf", "value predictor (alias of -vpred)")
+		vpredF    = fs.String("vpred", "", "value predictor: "+strings.Join(config.PredictorNames(), " | ")+" (overrides -pred)")
+		sharing   = fs.String("vpred-sharing", "shared", "predictor table organisation across contexts: "+strings.Join(config.SharingNames(), " | "))
 		sel       = fs.String("sel", "ilp", "load selector: ilp | l3 | always")
 		spawnLat  = fs.Int("spawnlat", -1, "spawn latency in cycles (-1 = machine default)")
 		storeBuf  = fs.Int("storebuf", -1, "store buffer entries per context (-1 = default, 0 = unbounded)")
@@ -122,7 +125,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitErr
 	}
 
-	pk, err := parsePred(*pred)
+	predName := *pred
+	if *vpredF != "" {
+		predName = *vpredF
+	}
+	pk, err := config.ParsePredictor(predName)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return exitErr
+	}
+	sm, err := config.ParseSharing(*sharing)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return exitErr
@@ -153,6 +165,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "unknown machine %q\n", *machine)
 		return exitErr
 	}
+	cfg.VP.Sharing = sm
 	if *spawnLat >= 0 {
 		cfg.VP.SpawnLatency = *spawnLat
 	}
@@ -261,8 +274,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	s := &res.Stats
 	fmt.Fprintf(stdout, "benchmark  %s (%s, %s)\n", bench.Name, bench.Kind, bench.Suite)
-	fmt.Fprintf(stdout, "machine    %s pred=%s sel=%s contexts=%d spawn=%dcyc storebuf=%d\n",
-		*machine, cfg.VP.Predictor, cfg.VP.Selector, cfg.Contexts,
+	fmt.Fprintf(stdout, "machine    %s pred=%s sharing=%s sel=%s contexts=%d spawn=%dcyc storebuf=%d\n",
+		*machine, cfg.VP.Predictor, cfg.VP.Sharing, cfg.VP.Selector, cfg.Contexts,
 		cfg.VP.SpawnLatency, cfg.VP.StoreBufEntries)
 	fmt.Fprintf(stdout, "cycles     %d\n", s.Cycles)
 	fmt.Fprintf(stdout, "committed  %d (useful)\n", s.Committed)
@@ -333,34 +346,8 @@ func parseKinds(csv string) ([]trace.Kind, error) {
 	return out, nil
 }
 
-func parsePred(s string) (config.PredictorKind, error) {
-	switch s {
-	case "oracle":
-		return config.PredOracle, nil
-	case "wf":
-		return config.PredWangFranklin, nil
-	case "dfcm":
-		return config.PredDFCM, nil
-	case "fcm":
-		return config.PredFCM, nil
-	case "lastvalue":
-		return config.PredLastValue, nil
-	case "stride":
-		return config.PredStride, nil
-	}
-	return 0, fmt.Errorf("unknown predictor %q", s)
-}
-
 func parseSel(s string) (config.SelectorKind, error) {
-	switch s {
-	case "ilp":
-		return config.SelILPPred, nil
-	case "l3":
-		return config.SelL3Oracle, nil
-	case "always":
-		return config.SelAlways, nil
-	}
-	return 0, fmt.Errorf("unknown selector %q", s)
+	return config.ParseSelector(s)
 }
 
 func maxf(a, b float64) float64 {

@@ -77,25 +77,49 @@ const (
 	PredFCM
 	PredLastValue
 	PredStride
+	// PredVPQStride is a retire-trained stride predictor with an explicit
+	// value prediction queue tracking in-flight instances (721sim style).
+	PredVPQStride
+	// PredEqualityLCV is an equality predictor over a last-committed-value
+	// table with dueling confidence counters and periodic decay (BALCVP).
+	PredEqualityLCV
+
+	predKinds // sentinel: number of predictor kinds
 )
 
 func (k PredictorKind) String() string {
-	switch k {
-	case PredOracle:
-		return "oracle"
-	case PredWangFranklin:
-		return "wf"
-	case PredDFCM:
-		return "dfcm3"
-	case PredFCM:
-		return "fcm3"
-	case PredLastValue:
-		return "lastvalue"
-	case PredStride:
-		return "stride"
-	default:
+	if k < 0 || k >= predKinds {
 		return "pred?"
 	}
+	return predictorNames[k]
+}
+
+// SharingMode selects how predictor tables are organised across hardware
+// contexts (Durbhakula-style shared vs private vs partitioned structures).
+// It is orthogonal to the predictor choice.
+type SharingMode int
+
+// Predictor table organisations across hardware contexts.
+const (
+	// ShareShared is one full-size table bank used by every context: maximum
+	// capacity per context but subject to cross-context interference.
+	ShareShared SharingMode = iota
+	// SharePrivate gives every context its own full-size bank: no
+	// interference, but a cold bank for each freshly spawned context and a
+	// Contexts-fold total hardware budget.
+	SharePrivate
+	// SharePartitioned divides a single table budget evenly across contexts:
+	// isolation at constant total cost, at the price of smaller tables.
+	SharePartitioned
+
+	shareModes // sentinel: number of sharing modes
+)
+
+func (m SharingMode) String() string {
+	if m < 0 || m >= shareModes {
+		return "share?"
+	}
+	return sharingNames[m]
 }
 
 // SelectorKind names a criticality (load-selection) predictor.
@@ -171,11 +195,36 @@ type DFCMParams struct {
 	Threshold int
 }
 
+// VPQStrideParams sizes the retire-trained stride predictor with an explicit
+// value prediction queue (PredVPQStride).
+type VPQStrideParams struct {
+	TableEntries int // direct-mapped, PC-tagged SVP table entries
+	QueueEntries int // VPQ capacity (phase-bit ring)
+	ConfMax      int // saturating confidence ceiling
+	ConfInc      int // increment when the trained stride repeats
+	ConfDec      int // decrement when the stride breaks
+	Threshold    int // minimum confidence to predict
+}
+
+// EqualityParams sizes the equality/last-committed-value predictor
+// (PredEqualityLCV): one LCV table plus dueling eq/neq saturating counters
+// with periodic decay.
+type EqualityParams struct {
+	TableEntries int    // direct-mapped, PC-tagged LCV + counter entries
+	CounterMax   int    // per-direction saturating counter ceiling
+	DecayPeriod  uint64 // trainings between whole-table decay sweeps
+	Threshold    int    // minimum eq counter to predict "equal"
+}
+
 // VPParams configures value prediction and the MTVP machinery.
 type VPParams struct {
 	Mode      VPMode
 	Predictor PredictorKind
 	Selector  SelectorKind
+
+	// Sharing selects how the predictor's tables are organised across
+	// hardware contexts (shared / private / partitioned).
+	Sharing SharingMode
 
 	// SpawnLatency is the cycles needed to flash-copy the register map
 	// and spawn a thread (1, 8, or 16 in §5.2).
@@ -203,8 +252,10 @@ type VPParams struct {
 	// work proceeds (the "split-window" comparison of Figure 6).
 	SpawnOnly bool
 
-	WF   WangFranklinParams
-	DFCM DFCMParams
+	WF       WangFranklinParams
+	DFCM     DFCMParams
+	VPQ      VPQStrideParams
+	Equality EqualityParams
 }
 
 // FaultParams selects a deterministic fault-injection campaign. Faults are
@@ -379,6 +430,8 @@ func Baseline() Config {
 			MaxValuesPerLoad: 1,
 			WF:               DefaultWF(),
 			DFCM:             DefaultDFCM(),
+			VPQ:              DefaultVPQStride(),
+			Equality:         DefaultEquality(),
 		},
 
 		MaxInsts:  500_000,
@@ -411,6 +464,31 @@ func DefaultDFCM() DFCMParams {
 		ConfInc:   1,
 		ConfDec:   4, // more aggressive than WF, as the paper observes
 		Threshold: 8,
+	}
+}
+
+// DefaultVPQStride returns a VPQ stride predictor sized comparably to the
+// other realistic predictors, with a queue deep enough for the pipeline's
+// in-flight loads.
+func DefaultVPQStride() VPQStrideParams {
+	return VPQStrideParams{
+		TableEntries: 4096,
+		QueueEntries: 256,
+		ConfMax:      32,
+		ConfInc:      1,
+		ConfDec:      8,
+		Threshold:    12,
+	}
+}
+
+// DefaultEquality returns the equality/LCV predictor sizing: 3-bit dueling
+// counters as in the exemplar design, decayed every 8K trainings.
+func DefaultEquality() EqualityParams {
+	return EqualityParams{
+		TableEntries: 4096,
+		CounterMax:   7,
+		DecayPeriod:  8192,
+		Threshold:    5,
 	}
 }
 
@@ -471,6 +549,14 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: MemLatency must be >= 1, got %d", c.MemLatency)
 	case c.VP.Mode == VPMTVP && c.Contexts < 2 && !c.VP.SpawnOnly:
 		return fmt.Errorf("config: MTVP needs >= 2 contexts, got %d", c.Contexts)
+	case c.VP.Predictor < 0 || c.VP.Predictor >= predKinds:
+		return &UnknownNameError{What: "predictor", Name: fmt.Sprintf("#%d", int(c.VP.Predictor)), Valid: PredictorNames()}
+	case c.VP.Sharing < 0 || c.VP.Sharing >= shareModes:
+		return &UnknownNameError{What: "sharing mode", Name: fmt.Sprintf("#%d", int(c.VP.Sharing)), Valid: SharingNames()}
+	case c.VP.Predictor == PredVPQStride && (c.VP.VPQ.TableEntries < 1 || c.VP.VPQ.QueueEntries < 1):
+		return fmt.Errorf("config: VPQ stride predictor needs TableEntries and QueueEntries >= 1")
+	case c.VP.Predictor == PredEqualityLCV && (c.VP.Equality.TableEntries < 1 || c.VP.Equality.DecayPeriod < 1):
+		return fmt.Errorf("config: equality/LCV predictor needs TableEntries and DecayPeriod >= 1")
 	case c.VP.SpawnLatency < 0:
 		return fmt.Errorf("config: SpawnLatency must be >= 0")
 	case c.VP.MultiValue && c.VP.MaxValuesPerLoad < 2:

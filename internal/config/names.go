@@ -1,0 +1,105 @@
+package config
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Canonical name tables. Indexed by the enum value, so String() and the
+// Parse*/“*Names“ helpers can never disagree about what is registered.
+var (
+	predictorNames = [predKinds]string{
+		PredOracle:       "oracle",
+		PredWangFranklin: "wf",
+		PredDFCM:         "dfcm3",
+		PredFCM:          "fcm3",
+		PredLastValue:    "lastvalue",
+		PredStride:       "stride",
+		PredVPQStride:    "vpq-stride",
+		PredEqualityLCV:  "eqlcv",
+	}
+	// predictorAliases accepts historical CLI spellings.
+	predictorAliases = map[string]PredictorKind{
+		"dfcm": PredDFCM,
+		"fcm":  PredFCM,
+		"vpq":  PredVPQStride,
+		"eq":   PredEqualityLCV,
+	}
+	sharingNames = [shareModes]string{
+		ShareShared:      "shared",
+		SharePrivate:     "private",
+		SharePartitioned: "partitioned",
+	}
+	selectorNames = map[string]SelectorKind{
+		"ilp-pred":  SelILPPred,
+		"ilp":       SelILPPred,
+		"l3-oracle": SelL3Oracle,
+		"l3":        SelL3Oracle,
+		"always":    SelAlways,
+		"never":     SelNever,
+	}
+)
+
+// UnknownNameError reports a name that does not match any registered entity
+// of the given kind, along with every valid choice.
+type UnknownNameError struct {
+	What  string   // what was being named: "predictor", "sharing mode", ...
+	Name  string   // the unknown name
+	Valid []string // the registered names, in canonical order
+}
+
+func (e *UnknownNameError) Error() string {
+	return fmt.Sprintf("config: unknown %s %q (valid: %s)",
+		e.What, e.Name, strings.Join(e.Valid, ", "))
+}
+
+// PredictorNames returns the canonical name of every registered predictor,
+// in enum order.
+func PredictorNames() []string {
+	return append([]string(nil), predictorNames[:]...)
+}
+
+// ParsePredictor resolves a predictor name (canonical or alias) to its kind.
+// Unknown names yield an *UnknownNameError listing the valid choices.
+func ParsePredictor(name string) (PredictorKind, error) {
+	for k, n := range predictorNames {
+		if n == name {
+			return PredictorKind(k), nil
+		}
+	}
+	if k, ok := predictorAliases[name]; ok {
+		return k, nil
+	}
+	return 0, &UnknownNameError{What: "predictor", Name: name, Valid: PredictorNames()}
+}
+
+// SharingNames returns the canonical name of every table sharing mode, in
+// enum order.
+func SharingNames() []string {
+	return append([]string(nil), sharingNames[:]...)
+}
+
+// ParseSharing resolves a table sharing mode name. Unknown names yield an
+// *UnknownNameError listing the valid choices.
+func ParseSharing(name string) (SharingMode, error) {
+	for m, n := range sharingNames {
+		if n == name {
+			return SharingMode(m), nil
+		}
+	}
+	return 0, &UnknownNameError{What: "sharing mode", Name: name, Valid: SharingNames()}
+}
+
+// SelectorNames returns the canonical name of every criticality selector.
+func SelectorNames() []string {
+	return []string{"ilp-pred", "l3-oracle", "always", "never"}
+}
+
+// ParseSelector resolves a criticality selector name. Unknown names yield an
+// *UnknownNameError listing the valid choices.
+func ParseSelector(name string) (SelectorKind, error) {
+	if k, ok := selectorNames[name]; ok {
+		return k, nil
+	}
+	return 0, &UnknownNameError{What: "selector", Name: name, Valid: SelectorNames()}
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"mtvp/internal/config"
+	"mtvp/internal/core"
+	"mtvp/internal/harness"
+	"mtvp/internal/stats"
+)
+
+// Sharing-study axes: the predictor zoo crossed with every table
+// organisation at two context counts. Wang–Franklin anchors the zoo to the
+// paper's default predictor; VPQ stride and equality/LCV are the ported
+// exemplar designs.
+var (
+	sharingPreds = []config.PredictorKind{
+		config.PredWangFranklin,
+		config.PredVPQStride,
+		config.PredEqualityLCV,
+	}
+	sharingModes = []config.SharingMode{
+		config.ShareShared,
+		config.SharePrivate,
+		config.SharePartitioned,
+	}
+	sharingCtxs = []int{2, 8}
+)
+
+// sharingModeTag abbreviates a mode for column labels: sh/pr/pt.
+func sharingModeTag(m config.SharingMode) string {
+	switch m {
+	case config.SharePrivate:
+		return "pr"
+	case config.SharePartitioned:
+		return "pt"
+	default:
+		return "sh"
+	}
+}
+
+// SharingStudy runs the Durbhakula-style predictor-table organisation
+// study: every zoo predictor × {shared, private, partitioned} tables ×
+// {2, 8} hardware contexts on the MTVP machine. It returns one percent-
+// speedup summary table per predictor (suite averages over the no-VP
+// baseline) plus the cross-context interference counters the shared-table
+// probe collects (vpred.Bank): constructive vs destructive sharing hits and
+// cross-context evictions, summed over the benchmark suite.
+func SharingStudy(o Options) ([]*stats.Table, error) {
+	benches := o.benches()
+
+	type cell struct {
+		label string
+		cfg   config.Config
+	}
+	cells := []cell{{label: "base", cfg: core.Baseline()}}
+	for _, p := range sharingPreds {
+		for _, m := range sharingModes {
+			for _, c := range sharingCtxs {
+				cells = append(cells, cell{
+					label: fmt.Sprintf("%s-%s%d", p, sharingModeTag(m), c),
+					cfg:   core.MTVPSharing(c, p, m),
+				})
+			}
+		}
+	}
+
+	jobs := make([]harness.Job[cellResult], 0, len(benches)*len(cells))
+	for _, b := range benches {
+		for _, cl := range cells {
+			b, cl := b, cl
+			jobs = append(jobs, harness.Job[cellResult]{
+				Key:  fmt.Sprintf("sharing/%s/%s", b.Name, cl.label),
+				Seed: o.Seed,
+				Run: func(ctx context.Context, hb *harness.Heartbeat) (cellResult, error) {
+					st, err := o.runCtx(ctx, hb, b, cl.label, cl.cfg)
+					if err != nil {
+						return cellResult{}, err
+					}
+					return cellResult{IPC: st.UsefulIPC(), Stats: *st}, nil
+				},
+			})
+		}
+	}
+
+	camp, err := harness.Run(context.Background(), o.harnessConfig("sharing"), jobs)
+	if camp != nil {
+		for _, r := range camp.Results {
+			camp.Summary.SimCycles += r.Stats.Cycles
+			camp.Summary.SimInsts += r.Stats.Committed
+		}
+		o.mergeSummary(camp.Summary)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Assemble in job-key order: ipc[bench][cell] plus per-cell interference
+	// sums across the suite.
+	ipc := make([][]float64, len(benches))
+	agg := make([]stats.Stats, len(cells))
+	idx := 0
+	for bi := range benches {
+		ipc[bi] = make([]float64, len(cells))
+		for ci := range cells {
+			r := camp.Results[jobs[idx].Key]
+			ipc[bi][ci] = r.IPC
+			a := &agg[ci]
+			a.VPCrossLookups += r.Stats.VPCrossLookups
+			a.VPShareHelpful += r.Stats.VPShareHelpful
+			a.VPShareHarmful += r.Stats.VPShareHarmful
+			a.VPCrossTrains += r.Stats.VPCrossTrains
+			a.VPCrossEvictions += r.Stats.VPCrossEvictions
+			idx++
+		}
+	}
+	// Cell index of (pred pi, mode mi, ctx ci); cells[0] is the baseline.
+	cellAt := func(pi, mi, ci int) int {
+		return 1 + pi*len(sharingModes)*len(sharingCtxs) + mi*len(sharingCtxs) + ci
+	}
+
+	var out []*stats.Table
+	for pi, p := range sharingPreds {
+		cols := make([]string, 0, len(sharingModes)*len(sharingCtxs))
+		mat := make([][]float64, len(benches))
+		for bi := range benches {
+			mat[bi] = append(mat[bi], ipc[bi][0])
+		}
+		for mi, m := range sharingModes {
+			for ci, c := range sharingCtxs {
+				cols = append(cols, fmt.Sprintf("%s%d", sharingModeTag(m), c))
+				for bi := range benches {
+					mat[bi] = append(mat[bi], ipc[bi][cellAt(pi, mi, ci)])
+				}
+			}
+		}
+		title := fmt.Sprintf("Sharing study — %s (mtvp, %% speedup)", p)
+		out = append(out, averagesOnly(title, cols, speedupTables(title, cols, benches, mat)))
+	}
+
+	it := &stats.Table{
+		Title:   "Sharing interference — shared tables (counts summed over the suite)",
+		Columns: []string{"crossLk", "helpful", "harmful", "crossTr", "evicts"},
+	}
+	for pi, p := range sharingPreds {
+		for ci, c := range sharingCtxs {
+			a := agg[cellAt(pi, 0, ci)] // sharingModes[0] is ShareShared
+			it.Add(fmt.Sprintf("%s x%d", p, c),
+				float64(a.VPCrossLookups), float64(a.VPShareHelpful),
+				float64(a.VPShareHarmful), float64(a.VPCrossTrains),
+				float64(a.VPCrossEvictions))
+		}
+	}
+	out = append(out, it)
+	return out, nil
+}

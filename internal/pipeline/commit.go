@@ -35,6 +35,9 @@ func (e *Engine) commit() {
 		e.compactROB(t)
 		if t.retiring && t.robEmpty() {
 			e.freeRetiring(t)
+			if e.finished { // a drained elder released a buffered HALT
+				return
+			}
 		}
 	}
 }
@@ -69,15 +72,19 @@ func (e *Engine) commitOne(t *thread, u *uop) {
 		// wrong-path entirely), and letting them train garbles the value
 		// history and pattern tables.
 		if t.promoted {
-			e.vp.Train(u.dec.InstAddr, u.ex.Value)
+			e.vp.Train(t.id, u.dec.InstAddr, u.ex.Value)
 		}
 	case u.dec.IsStore:
 		e.commitStore(t, u)
 	case u.dec.Inst.Op == isa.HALT:
-		if t.promoted {
+		// The run ends only once the halting thread is the oldest live
+		// thread: a promoted thread can commit HALT while a confirmed-away
+		// elder is still draining older work, and finishing then would
+		// freeze architectural state (and the checker's commit stream)
+		// with that older work permanently missing.
+		t.haltCommitted = true
+		if t.promoted && e.oldestLive() == t {
 			e.finishAt(t)
-		} else {
-			t.haltCommitted = true
 		}
 	}
 }
@@ -186,9 +193,11 @@ func (e *Engine) promoteReady() {
 		}
 		t.storeQ = kept
 		t.overlay.Collapse()
-		if t.haltCommitted {
-			e.finishAt(t)
-		}
+	}
+	// A buffered HALT fires once its thread surfaces as the oldest live
+	// thread — every elder drained and freed, so the program truly is over.
+	if ts := e.liveByOrder(); !e.finished && len(ts) > 0 && ts[0].promoted && ts[0].haltCommitted {
+		e.finishAt(ts[0])
 	}
 	e.flushOldestCheck()
 }

@@ -31,7 +31,7 @@ type Engine struct {
 
 	hier *cache.Hierarchy
 	bp   bpred.Predictor
-	vp   vpred.Predictor
+	vp   *vpred.Bank
 	sel  crit.Selector
 	st   *stats.Stats
 
@@ -162,7 +162,7 @@ func New(cfg *config.Config, prog *isa.Program, memory *mem.Memory, st *stats.St
 		noFF:    cfg.DisableFastForward || os.Getenv("MTVP_NO_FASTFWD") != "",
 		hier:    cache.NewHierarchy(cfg, st),
 		bp:      bpred.New2bcgskew(cfg.Branch),
-		vp:      vpred.New(cfg),
+		vp:      vpred.NewBank(cfg),
 		sel:     crit.New(cfg),
 		st:      st,
 		slots:   make([]*thread, cfg.Contexts),
@@ -295,6 +295,9 @@ var ErrCanceled = errors.New("run canceled by observer")
 const observeMask = 1<<10 - 1
 
 func (e *Engine) Run() error {
+	// Fold the predictor bank's sharing-probe counters into the run's stats
+	// on every exit path (finish, cancel, check failure, fault abort).
+	defer e.foldSharingStats()
 	for !e.finished {
 		stop, err := e.runCycle()
 		if err != nil {

@@ -103,4 +103,7 @@ func (d *DFCM) Train(pc, actual uint64) {
 	e.last = actual
 }
 
+// Footprint implements Sizer: level-1 plus level-2 entries.
+func (d *DFCM) Footprint() int { return len(d.l1) + len(d.l2) }
+
 var _ Predictor = (*DFCM)(nil)

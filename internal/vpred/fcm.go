@@ -92,4 +92,7 @@ func (f *FCM) Train(pc, actual uint64) {
 	}
 }
 
+// Footprint implements Sizer: level-1 plus level-2 entries.
+func (f *FCM) Footprint() int { return len(f.l1) + len(f.l2) }
+
 var _ Predictor = (*FCM)(nil)

@@ -1,0 +1,132 @@
+package vpred
+
+import (
+	"reflect"
+	"testing"
+
+	"mtvp/internal/config"
+	"mtvp/internal/mem"
+)
+
+// fuzzStep decodes one op byte against a small PC/value universe. The low
+// bits pick the action, the high bits the PC; values come from a per-PC
+// rolling state seeded by the fuzzer so streams mix strides, repeats and
+// noise.
+type fuzzDriver struct {
+	r     *mem.Rand
+	state [8]uint64
+}
+
+func newFuzzDriver(seed uint64) *fuzzDriver {
+	d := &fuzzDriver{r: mem.NewRand(seed | 1)}
+	for i := range d.state {
+		d.state[i] = d.r.Next()
+	}
+	return d
+}
+
+func (d *fuzzDriver) decode(op byte) (pc, value uint64, doLookup, doTrain bool) {
+	p := int(op>>3) & 7
+	switch op & 7 {
+	case 0: // lookup only (a squashed speculative fetch: never retires)
+		doLookup = true
+	case 1: // train only (a load that was never looked up)
+		doTrain = true
+	case 7: // value jump: break the stride, then train
+		d.state[p] = d.r.Next()
+		doLookup, doTrain = true, true
+	default: // the common retired-load path: lookup then train, stride walk
+		d.state[p] += uint64(p) * 4
+		doLookup, doTrain = true, true
+	}
+	return uint64(0x100 + p*8), d.state[p], doLookup, doTrain
+}
+
+// FuzzVPQStridePredictor drives a deliberately tiny VPQ stride predictor
+// with an arbitrary interleaving of lookups (VPQ enqueues) and trains (VPQ
+// retires) — including the adversarial shapes the pipeline produces:
+// speculative lookups that never retire, and retires with no matching
+// in-flight entry. Invariants: queue occupancy and confidence stay bounded,
+// the footprint never grows, and a twin instance fed the same stream stays
+// bit-identical.
+func FuzzVPQStridePredictor(f *testing.F) {
+	f.Add(uint64(15), []byte{0x02, 0x0a, 0x12, 0x1a, 0x02, 0x0a})
+	f.Add(uint64(1), []byte{0x00, 0x00, 0x00, 0x00, 0x01, 0x01}) // orphan storm, then bare retires
+	f.Add(uint64(7), []byte{0x3f, 0x3f, 0x02, 0x3f, 0x02, 0x02}) // value jumps breaking strides
+	f.Fuzz(func(t *testing.T, seed uint64, ops []byte) {
+		p := config.DefaultVPQStride()
+		p.TableEntries, p.QueueEntries = 8, 4 // tiny: force aliasing and queue wrap
+		a, b := NewVPQStride(p), NewVPQStride(p)
+		d := newFuzzDriver(seed)
+		foot := a.Footprint()
+		for i, op := range ops {
+			pc, v, doLookup, doTrain := d.decode(op)
+			if doLookup {
+				pa, pb := a.Lookup(pc, v), b.Lookup(pc, v)
+				if !reflect.DeepEqual(pa, pb) {
+					t.Fatalf("op %d: twins diverge: %+v vs %+v", i, pa, pb)
+				}
+				if pa.Conf < 0 || pa.Conf > p.ConfMax {
+					t.Fatalf("op %d: confidence %d outside [0,%d]", i, pa.Conf, p.ConfMax)
+				}
+			}
+			if doTrain {
+				a.Train(pc, v)
+				b.Train(pc, v)
+			}
+			if occ := a.occupancy(); occ < 0 || occ > len(a.queue) {
+				t.Fatalf("op %d: occupancy %d outside [0,%d]", i, occ, len(a.queue))
+			}
+		}
+		if got := a.Footprint(); got != foot {
+			t.Fatalf("footprint grew %d -> %d", foot, got)
+		}
+	})
+}
+
+// FuzzEqualityLCVPredictor drives a tiny equality/LCV predictor through
+// arbitrary op streams with a short decay period so the sweep fires often.
+// Invariants: both dueling counters stay in [0, CounterMax], a confident
+// prediction always returns the last committed value for that entry, and a
+// twin instance stays bit-identical.
+func FuzzEqualityLCVPredictor(f *testing.F) {
+	f.Add(uint64(15), []byte{0x02, 0x0a, 0x12, 0x1a, 0x02, 0x0a})
+	f.Add(uint64(3), []byte{0x01, 0x01, 0x01, 0x01, 0x01, 0x01, 0x01, 0x01, 0x01}) // train-only: exercise decay
+	f.Add(uint64(9), []byte{0x3f, 0x02, 0x3f, 0x02, 0x3f, 0x02})                   // alternating values duel the counters
+	f.Fuzz(func(t *testing.T, seed uint64, ops []byte) {
+		p := config.DefaultEquality()
+		p.TableEntries, p.DecayPeriod = 8, 4 // tiny table, near-constant decay pressure
+		a, b := NewEqualityLCV(p), NewEqualityLCV(p)
+		d := newFuzzDriver(seed)
+		foot := a.Footprint()
+		for i, op := range ops {
+			pc, v, doLookup, doTrain := d.decode(op)
+			if doLookup {
+				pa, pb := a.Lookup(pc, v), b.Lookup(pc, v)
+				if !reflect.DeepEqual(pa, pb) {
+					t.Fatalf("op %d: twins diverge: %+v vs %+v", i, pa, pb)
+				}
+				if pa.Confident {
+					e := &a.table[pc%uint64(len(a.table))]
+					if !e.valid || e.pc != pc || pa.Value != e.value {
+						t.Fatalf("op %d: confident prediction %#x does not match stored entry", i, pa.Value)
+					}
+				}
+			}
+			if doTrain {
+				a.Train(pc, v)
+				b.Train(pc, v)
+			}
+			for j := range a.table {
+				e := &a.table[j]
+				if e.eq < 0 || e.eq > p.CounterMax || e.neq < 0 || e.neq > p.CounterMax {
+					t.Fatalf("op %d: entry %d counters (%d,%d) outside [0,%d]",
+						i, j, e.eq, e.neq, p.CounterMax)
+				}
+			}
+		}
+		if got := a.Footprint(); got != foot {
+			t.Fatalf("footprint grew %d -> %d", foot, got)
+		}
+	})
+}

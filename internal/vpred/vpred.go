@@ -5,7 +5,11 @@
 // predictors used as components and baselines.
 package vpred
 
-import "mtvp/internal/config"
+import (
+	"fmt"
+
+	"mtvp/internal/config"
+)
 
 // Candidate is one predicted value with its confidence.
 type Candidate struct {
@@ -36,7 +40,25 @@ type Predictor interface {
 	Train(pc, actual uint64)
 }
 
-// New builds the predictor selected by the configuration.
+// Sizer reports a predictor's allocated table footprint in entries. Every
+// registered predictor implements it (property-test enforced); the bounded
+// table size invariant requires the footprint to stay constant no matter
+// what stream the predictor observes.
+type Sizer interface {
+	Footprint() int
+}
+
+// Sizing New uses for the simple last-value and stride predictors.
+const (
+	simpleTableEntries = 4096
+	simpleThreshold    = 12
+	simpleConfMax      = 32
+)
+
+// New builds the predictor selected by the configuration. Unknown kinds
+// panic: Config.Validate rejects them with a structured error first, so
+// reaching the panic means the config registry and this constructor switch
+// disagree about what is registered.
 func New(cfg *config.Config) Predictor {
 	switch cfg.VP.Predictor {
 	case config.PredOracle:
@@ -48,11 +70,15 @@ func New(cfg *config.Config) Predictor {
 	case config.PredFCM:
 		return NewFCM(cfg.VP.DFCM)
 	case config.PredLastValue:
-		return NewLastValue(4096, 12, 32)
+		return NewLastValue(simpleTableEntries, simpleThreshold, simpleConfMax)
 	case config.PredStride:
-		return NewStride(4096, 12, 32)
+		return NewStride(simpleTableEntries, simpleThreshold, simpleConfMax)
+	case config.PredVPQStride:
+		return NewVPQStride(cfg.VP.VPQ)
+	case config.PredEqualityLCV:
+		return NewEqualityLCV(cfg.VP.Equality)
 	default:
-		return Oracle{}
+		panic(fmt.Sprintf("vpred: no constructor for predictor kind %d", int(cfg.VP.Predictor)))
 	}
 }
 
@@ -67,7 +93,11 @@ func BaseThreshold(cfg *config.Config) int {
 	case config.PredDFCM, config.PredFCM:
 		return cfg.VP.DFCM.Threshold
 	case config.PredLastValue, config.PredStride:
-		return 12 // the fixed sizing New uses for these predictors
+		return simpleThreshold // the fixed sizing New uses for these predictors
+	case config.PredVPQStride:
+		return cfg.VP.VPQ.Threshold
+	case config.PredEqualityLCV:
+		return cfg.VP.Equality.Threshold
 	default:
 		return 0 // oracle: no meaningful confidence scale
 	}
@@ -84,6 +114,9 @@ func (Oracle) Lookup(_, actual uint64) Prediction {
 
 // Train is a no-op.
 func (Oracle) Train(_, _ uint64) {}
+
+// Footprint implements Sizer: the oracle holds no state.
+func (Oracle) Footprint() int { return 0 }
 
 // LastValue predicts that a load returns the same value as last time.
 type LastValue struct {
@@ -146,6 +179,9 @@ func (p *LastValue) Train(pc, actual uint64) {
 	}
 	e.value = actual
 }
+
+// Footprint implements Sizer.
+func (p *LastValue) Footprint() int { return len(p.entries) }
 
 // Stride predicts last value plus the last observed stride.
 type Stride struct {
@@ -211,6 +247,9 @@ func (p *Stride) Train(pc, actual uint64) {
 	}
 	e.last = actual
 }
+
+// Footprint implements Sizer.
+func (p *Stride) Footprint() int { return len(p.entries) }
 
 var (
 	_ Predictor = Oracle{}

@@ -205,4 +205,7 @@ func (w *WangFranklin) Train(pc, actual uint64) {
 	e.last = actual
 }
 
+// Footprint implements Sizer: VHT plus ValPHT entries.
+func (w *WangFranklin) Footprint() int { return len(w.vht) + len(w.pht) }
+
 var _ Predictor = (*WangFranklin)(nil)
