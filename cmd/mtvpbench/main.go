@@ -15,15 +15,23 @@
 // Long campaigns run on the supervised harness (internal/harness): -jobs
 // bounds the worker pool, -timeout and -stall cancel wedged cells, -retries
 // re-runs flaky ones, and -journal checkpoints every finished cell to a
-// JSONL file so an interrupted campaign (Ctrl-C drains cleanly; even a
-// SIGKILL loses only in-flight cells) can be completed with -resume.
+// JSONL file so an interrupted campaign (Ctrl-C or SIGTERM drains cleanly;
+// even a SIGKILL loses only in-flight cells) can be completed with -resume.
+//
+// -coordinator hands the campaign to a distributed sweep fabric instead of
+// the local worker pool: cells are submitted to a `mtvpd serve` coordinator
+// and executed by whatever `mtvpd work` agents are attached to it (-token
+// authenticates). Reports are byte-identical to local runs regardless of
+// worker count or worker deaths.
 //
 // -metrics-addr serves live campaign telemetry while the run is up: job
 // counters and simulated cycle rates on /metrics (Prometheus text format),
 // liveness on /healthz, and the standard /debug/pprof surface.
 //
 // Exit codes: 0 success, 1 usage or experiment error, 4 one or more cells
-// exhausted their retries (failed job keys on stderr), 130 interrupted.
+// exhausted their retries (failed job keys on stderr), 130 interrupted by
+// SIGINT, 143 terminated by SIGTERM (both after a clean drain and journal
+// flush).
 package main
 
 import (
@@ -86,6 +94,8 @@ func main() {
 		retries  = flag.Int("retries", 1, "re-runs per failed or timed-out cell")
 		journal  = flag.String("journal", "", "JSONL checkpoint journal path (\"\" = no checkpointing)")
 		resume   = flag.String("resume", "", "resume from this journal: skip done cells, re-run failures")
+		coord    = flag.String("coordinator", "", "run campaigns on this sweep-fabric coordinator (base URL of `mtvpd serve`; \"\" = local worker pool)")
+		token    = flag.String("token", "", "bearer token for the fabric coordinator")
 		quiet    = flag.Bool("quiet", false, "suppress per-event campaign progress on stderr")
 		metrics  = flag.String("metrics-addr", "", "serve live campaign telemetry on this host:port (/metrics, /healthz, /debug/pprof; \"\" = off)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the host process to FILE")
@@ -121,6 +131,8 @@ func main() {
 	opt.Journal = *journal
 	opt.HandleSignals = true
 	opt.Summary = &harness.Summary{}
+	opt.Coordinator = *coord
+	opt.Token = *token
 	if *resume != "" {
 		if *journal != "" && *journal != *resume {
 			fmt.Fprintln(os.Stderr, "-journal and -resume name different files; -resume both reads and extends its journal")
@@ -271,8 +283,9 @@ func teeEvents(fns ...func(harness.Event)) func(harness.Event) {
 }
 
 // exit reports an experiment failure with the harness's exit-code contract:
-// 4 when cells exhausted their retries (keys listed on stderr), 130 when the
-// campaign was interrupted, 1 otherwise.
+// 4 when cells exhausted their retries (keys listed on stderr), 128+signum
+// when the campaign was drained by a signal (130 SIGINT, 143 SIGTERM), 1
+// otherwise.
 func exit(name string, err error, sum *harness.Summary) {
 	flushHostArtifacts()
 	fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
@@ -280,6 +293,7 @@ func exit(name string, err error, sum *harness.Summary) {
 		fmt.Fprintln(os.Stderr, sum.Table())
 	}
 	var failed *harness.FailedError
+	var interrupted *harness.InterruptedError
 	switch {
 	case errors.As(err, &failed):
 		fmt.Fprintf(os.Stderr, "%d cells exhausted their retries:\n", len(failed.Failures))
@@ -287,6 +301,8 @@ func exit(name string, err error, sum *harness.Summary) {
 			fmt.Fprintf(os.Stderr, "  %s (%s after %d attempts): %s\n", f.Key, f.Kind, f.Attempts, f.Err)
 		}
 		os.Exit(4)
+	case errors.As(err, &interrupted):
+		os.Exit(interrupted.ExitCode())
 	case errors.Is(err, harness.ErrInterrupted):
 		os.Exit(130)
 	}

@@ -10,6 +10,10 @@
 // checkpoint the campaign so an interrupted report generation can be
 // completed without re-simulating finished cells. The campaign summary
 // (cells completed/retried/failed/skipped, wall time) is printed to stderr.
+//
+// -coordinator runs every campaign on a distributed sweep fabric (`mtvpd
+// serve` + `mtvpd work` agents) instead of the local worker pool; the
+// generated report is byte-identical either way.
 package main
 
 import (
@@ -34,6 +38,8 @@ func main() {
 		retries = flag.Int("retries", 1, "re-runs per failed or timed-out cell")
 		journal = flag.String("journal", "", "JSONL checkpoint journal path (\"\" = no checkpointing)")
 		resume  = flag.String("resume", "", "resume from this journal: skip done cells, re-run failures")
+		coord   = flag.String("coordinator", "", "run campaigns on this sweep-fabric coordinator (base URL of `mtvpd serve`; \"\" = local worker pool)")
+		token   = flag.String("token", "", "bearer token for the fabric coordinator")
 	)
 	flag.Parse()
 
@@ -47,6 +53,8 @@ func main() {
 	opt.Journal = *journal
 	opt.HandleSignals = true
 	opt.Summary = &harness.Summary{}
+	opt.Coordinator = *coord
+	opt.Token = *token
 	if *resume != "" {
 		opt.Journal = *resume
 		opt.Resume = true
@@ -68,12 +76,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, opt.Summary.Table())
 		}
 		var failed *harness.FailedError
+		var interrupted *harness.InterruptedError
 		switch {
 		case errors.As(err, &failed):
 			for _, f := range failed.Failures {
 				fmt.Fprintf(os.Stderr, "  %s\n", f)
 			}
 			os.Exit(4)
+		case errors.As(err, &interrupted):
+			os.Exit(interrupted.ExitCode())
 		case errors.Is(err, harness.ErrInterrupted):
 			os.Exit(130)
 		}

@@ -12,7 +12,9 @@
 // Exit codes: 0 on success, 1 on usage or generic simulation errors, 2 when
 // the lockstep oracle checker detects a divergence (a wrong committed
 // value), 3 when the engine aborts with a structured fault report
-// (recovery exhausted under a fault campaign).
+// (recovery exhausted under a fault campaign), 128+signum when a SIGINT or
+// SIGTERM stopped the run (130/143; the engine halts cooperatively at the
+// next observer poll, so trace and series sinks are still flushed).
 package main
 
 import (
@@ -21,7 +23,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"mtvp/internal/config"
@@ -198,6 +202,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// Graceful SIGINT/SIGTERM: stop the engine at the next observer poll so
+	// every sink still flushes (the partial timeline of an interrupted run
+	// is worth keeping), then exit 128+signum.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	var gotSig os.Signal
+	prevObserve := cfg.Observe
+	cfg.Observe = func(cycles, commits uint64) bool {
+		select {
+		case s := <-sigCh:
+			gotSig = s
+			return false
+		default:
+		}
+		return prevObserve == nil || prevObserve(cycles, commits)
+	}
+
 	prog, image := bench.Build(*seed)
 
 	var kinds []trace.Kind
@@ -266,6 +288,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err := writeSeries(*series, sampler); err != nil {
 			fmt.Fprintf(stderr, "series: %v\n", err)
 		}
+	}
+	if gotSig != nil {
+		fmt.Fprintf(stderr, "mtvpsim: %v: run stopped at the next observer poll (sinks flushed)\n", gotSig)
+		if s, ok := gotSig.(syscall.Signal); ok {
+			return 128 + int(s)
+		}
+		return 130
 	}
 	if runErr != nil {
 		fmt.Fprintln(stderr, runErr)

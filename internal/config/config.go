@@ -359,8 +359,11 @@ type Config struct {
 	// block: the campaign harness (internal/harness) uses it to feed its
 	// simulated-cycle progress watchdog and to propagate context
 	// cancellation (deadlines, stall kills, SIGINT) into a running
-	// simulation.
-	Observe func(cycles, commits uint64) (keepRunning bool)
+	// simulation. Excluded from JSON: a Config must serialize so the
+	// distributed sweep fabric (internal/fabric) can ship fully-resolved
+	// machine configs to remote workers, and hooks are per-process anyway
+	// (each worker installs its own Observe for heartbeating).
+	Observe func(cycles, commits uint64) (keepRunning bool) `json:"-"`
 
 	// Robustness: fault injection and the recovery controller.
 	Faults   FaultParams

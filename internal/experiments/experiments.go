@@ -45,8 +45,16 @@ type Options struct {
 	Journal      string        // JSONL checkpoint path ("" = no checkpointing)
 	Resume       bool          // skip journaled-done cells, re-run failures
 	// HandleSignals installs the harness's graceful-shutdown handler
-	// (SIGINT drains workers and flushes the journal) around every sweep.
+	// (SIGINT/SIGTERM drain workers and flush the journal) around every
+	// sweep.
 	HandleSignals bool
+	// Coordinator, when non-empty, runs every sweep through the distributed
+	// fabric (internal/fabric) at this base URL instead of the local worker
+	// pool: cells are submitted as a campaign and executed by whatever
+	// worker agents (mtvpd work) are attached to the coordinator. Reports
+	// are byte-identical to local runs. Token authenticates the client.
+	Coordinator string
+	Token       string
 	// Summary, when non-nil, accumulates every sweep's campaign counters
 	// (completed/retried/failed/skipped cells, wall time) for reporting.
 	Summary *harness.Summary
@@ -183,6 +191,9 @@ func (o Options) sweepAgainst(name string, cols []string, base config.Config, be
 	labels := append([]string{"base"}, cols...)
 	if len(labels) != len(cfgs) {
 		return nil, fmt.Errorf("%s: %d column labels for %d machines", name, len(cols), len(machines))
+	}
+	if o.Coordinator != "" {
+		return o.sweepRemote(context.Background(), name, labels, benches, cfgs)
 	}
 
 	jobs := make([]harness.Job[cellResult], 0, len(benches)*len(cfgs))

@@ -1,0 +1,831 @@
+package fabric
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mtvp/internal/fault"
+	"mtvp/internal/harness"
+	"mtvp/internal/telemetry"
+)
+
+// CoordinatorConfig tunes one coordinator. The zero value is usable for
+// in-memory operation; set JournalDir for crash-resumable persistence.
+type CoordinatorConfig struct {
+	// LeaseTTL is how long a granted lease survives without a heartbeat
+	// before its cell is requeued (0 selects 15s). Workers are told to
+	// heartbeat every TTL/3.
+	LeaseTTL time.Duration
+	// Retries bounds how many times a cell is re-leased after a lost lease
+	// or reported failure before it is marked failed (0 selects 3). The
+	// budget reuses fault.Backoff — worker loss is paced by the same
+	// machinery that paces the simulated machine's own recoveries.
+	Retries int
+	// JournalDir, when non-empty, persists every campaign: the spec as
+	// <id>.spec.json (written atomically at submit) and completions through
+	// the harness's fsynced JSONL journal as <id>.journal. A coordinator
+	// restarted on the same directory resumes every campaign without
+	// re-running completed cells.
+	JournalDir string
+	// PruneAfter retires a worker from the fleet view after this much
+	// silence with no leases held (0 selects 10×LeaseTTL).
+	PruneAfter time.Duration
+	// Registry, when non-nil, exports the live fleet view: aggregate
+	// counters plus per-worker labeled gauges (leases held, heartbeat age,
+	// jobs done/failed, cycle rate).
+	Registry *telemetry.Registry
+	// Logf, when non-nil, receives coordinator progress lines.
+	Logf func(format string, args ...any)
+	// Now overrides the clock (tests drive lease expiry deterministically).
+	Now func() time.Time
+}
+
+func (c CoordinatorConfig) leaseTTL() time.Duration {
+	if c.LeaseTTL <= 0 {
+		return 15 * time.Second
+	}
+	return c.LeaseTTL
+}
+
+func (c CoordinatorConfig) retries() int {
+	if c.Retries <= 0 {
+		return 3
+	}
+	return c.Retries
+}
+
+func (c CoordinatorConfig) pruneAfter() time.Duration {
+	if c.PruneAfter > 0 {
+		return c.PruneAfter
+	}
+	return 10 * c.leaseTTL()
+}
+
+// jobState is one cell's position in the lease lifecycle.
+type jobState int
+
+const (
+	jobQueued jobState = iota
+	jobLeased
+	jobDone
+	jobFailed
+)
+
+// job is one cell's coordinator-side state.
+type job struct {
+	spec     JobSpec
+	state    jobState
+	worker   string    // lease holder while leased
+	expiry   time.Time // lease deadline while leased
+	attempts int
+	budget   *fault.Backoff // requeue budget (worker loss, reported failures)
+	result   json.RawMessage
+	failure  *harness.JobFailure
+
+	lastCycles  uint64    // last heartbeat's cycle count (rate derivation)
+	lastBeatAt  time.Time // last heartbeat wall time
+	everBeaten  bool
+}
+
+// campaign is one tenant's batch of cells.
+type campaign struct {
+	id          string
+	name        string
+	fingerprint string
+	jobs        map[string]*job
+	order       []string // submission order = report order
+	queue       []string // runnable cells, FIFO; requeues go to the back
+	jnl         *harness.Journal
+	cancelled   bool
+	done        int
+	failed      int
+	requeues    int
+}
+
+func (c *campaign) state() CampaignState {
+	switch {
+	case c.cancelled:
+		return StateCancelled
+	case c.done == len(c.order):
+		return StateComplete
+	case c.done+c.failed == len(c.order):
+		return StateFailed
+	default:
+		return StateRunning
+	}
+}
+
+// workerInfo is one agent's fleet-view row.
+type workerInfo struct {
+	name      string
+	lastSeen  time.Time
+	leases    int
+	done      uint64
+	failed    uint64
+	lost      uint64
+	cycleRate float64 // EWMA cycles/sec
+}
+
+// Coordinator owns the multi-tenant lease state machine. All methods are
+// safe for concurrent use; the HTTP server (server.go) is a thin layer
+// over them.
+type Coordinator struct {
+	cfg CoordinatorConfig
+
+	mu        sync.Mutex
+	campaigns map[string]*campaign
+	order     []string // campaign submission order (fair-share rotation)
+	rr        int      // round-robin cursor into order
+	workers   map[string]*workerInfo
+
+	metrics *fleetMetrics
+}
+
+// fleetMetrics is the aggregate + per-worker telemetry surface.
+type fleetMetrics struct {
+	reg           *telemetry.Registry
+	leasesGranted *telemetry.Counter
+	heartbeats    *telemetry.Counter
+	expiries      *telemetry.Counter
+	requeues      *telemetry.Counter
+	resultsOK     *telemetry.Counter
+	resultsFailed *telemetry.Counter
+	dedups        *telemetry.Counter
+	campaignsLive *telemetry.Gauge
+	jobsQueued    *telemetry.Gauge
+	jobsLeased    *telemetry.Gauge
+}
+
+// NewCoordinator builds a coordinator and, when JournalDir is set, reloads
+// every persisted campaign from it (completed cells keep their journaled
+// results; queued and previously-leased cells are requeued; failed cells
+// re-run with a fresh budget, mirroring local journal-resume semantics).
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	co := &Coordinator{
+		cfg:       cfg,
+		campaigns: map[string]*campaign{},
+		workers:   map[string]*workerInfo{},
+	}
+	if reg := cfg.Registry; reg != nil {
+		co.metrics = &fleetMetrics{
+			reg:           reg,
+			leasesGranted: reg.Counter("mtvp_fabric_leases_granted_total", "job leases granted to workers"),
+			heartbeats:    reg.Counter("mtvp_fabric_heartbeats_total", "lease heartbeats accepted"),
+			expiries:      reg.Counter("mtvp_fabric_lease_expiries_total", "leases lost to heartbeat loss or expiry"),
+			requeues:      reg.Counter("mtvp_fabric_requeues_total", "cells requeued after a lost lease or failure"),
+			resultsOK:     reg.Counter("mtvp_fabric_results_ok_total", "successful cell results accepted"),
+			resultsFailed: reg.Counter("mtvp_fabric_results_failed_total", "failed cell results reported"),
+			dedups:        reg.Counter("mtvp_fabric_result_dedups_total", "double-completions deduped on job key"),
+			campaignsLive: reg.Gauge("mtvp_fabric_campaigns_running", "campaigns currently running"),
+			jobsQueued:    reg.Gauge("mtvp_fabric_jobs_queued", "cells waiting for a lease across all campaigns"),
+			jobsLeased:    reg.Gauge("mtvp_fabric_jobs_leased", "cells currently leased across all campaigns"),
+		}
+	}
+	if cfg.JournalDir != "" {
+		if err := os.MkdirAll(cfg.JournalDir, 0o755); err != nil {
+			return nil, fmt.Errorf("fabric: journal dir: %w", err)
+		}
+		if err := co.reload(); err != nil {
+			return nil, err
+		}
+	}
+	return co, nil
+}
+
+func (co *Coordinator) now() time.Time {
+	if co.cfg.Now != nil {
+		return co.cfg.Now()
+	}
+	return time.Now()
+}
+
+func (co *Coordinator) logf(format string, args ...any) {
+	if co.cfg.Logf != nil {
+		co.cfg.Logf(format, args...)
+	}
+}
+
+// CampaignID derives the deterministic campaign identity from a spec:
+// resubmitting the same (name, fingerprint, job keys) — after a client
+// retry or a coordinator restart — attaches to the existing campaign.
+func CampaignID(spec CampaignSpec) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00", spec.Name, spec.Fingerprint)
+	for _, j := range spec.Jobs {
+		fmt.Fprintf(h, "%s\x00", j.Key)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// Submit registers a campaign (idempotently: a spec with a known identity
+// attaches to the existing campaign) and persists it when a journal
+// directory is configured.
+func (co *Coordinator) Submit(spec CampaignSpec) (SubmitResponse, error) {
+	if spec.Name == "" || len(spec.Jobs) == 0 {
+		return SubmitResponse{}, fmt.Errorf("fabric: campaign needs a name and at least one job")
+	}
+	seen := map[string]bool{}
+	for _, j := range spec.Jobs {
+		if j.Key == "" {
+			return SubmitResponse{}, fmt.Errorf("fabric: campaign %q has a job with an empty key", spec.Name)
+		}
+		if seen[j.Key] {
+			return SubmitResponse{}, fmt.Errorf("fabric: campaign %q has duplicate job key %q", spec.Name, j.Key)
+		}
+		seen[j.Key] = true
+	}
+	id := CampaignID(spec)
+
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if _, ok := co.campaigns[id]; ok {
+		return SubmitResponse{ID: id, Attached: true}, nil
+	}
+	c, err := co.installLocked(id, spec, nil)
+	if err != nil {
+		return SubmitResponse{}, err
+	}
+	if co.cfg.JournalDir != "" {
+		if err := co.persistSpec(id, spec); err != nil {
+			delete(co.campaigns, id)
+			co.order = co.order[:len(co.order)-1]
+			return SubmitResponse{}, err
+		}
+	}
+	co.logf("campaign %s (%s): %d cells submitted", id, c.name, len(c.order))
+	co.updateGaugesLocked()
+	return SubmitResponse{ID: id}, nil
+}
+
+// installLocked builds the campaign state from a spec plus (on reload) the
+// journaled records, opens its journal, and queues the unfinished cells.
+func (co *Coordinator) installLocked(id string, spec CampaignSpec, prior map[string]*harness.Record) (*campaign, error) {
+	c := &campaign{
+		id:          id,
+		name:        spec.Name,
+		fingerprint: spec.Fingerprint,
+		jobs:        map[string]*job{},
+	}
+	for _, s := range spec.Jobs {
+		j := &job{spec: s, budget: fault.NewBackoff(co.cfg.retries(), 64)}
+		if rec := prior[s.Key]; rec != nil && rec.Status == harness.StatusDone && len(rec.Result) > 0 {
+			j.state = jobDone
+			j.attempts = rec.Attempts
+			j.result = append(json.RawMessage(nil), rec.Result...)
+			c.done++
+		} else {
+			c.queue = append(c.queue, s.Key)
+		}
+		c.jobs[s.Key] = j
+		c.order = append(c.order, s.Key)
+	}
+	if co.cfg.JournalDir != "" {
+		jnl, err := harness.OpenJournal(co.journalPath(id), spec.Name, spec.Fingerprint)
+		if err != nil {
+			return nil, err
+		}
+		c.jnl = jnl
+	}
+	co.campaigns[id] = c
+	co.order = append(co.order, id)
+	return c, nil
+}
+
+func (co *Coordinator) specPath(id string) string {
+	return filepath.Join(co.cfg.JournalDir, id+".spec.json")
+}
+
+func (co *Coordinator) journalPath(id string) string {
+	return filepath.Join(co.cfg.JournalDir, id+".journal")
+}
+
+// persistSpec writes the campaign spec atomically (tmp + rename): a crash
+// mid-submit leaves either a complete spec or none.
+func (co *Coordinator) persistSpec(id string, spec CampaignSpec) error {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return fmt.Errorf("fabric: marshal spec: %w", err)
+	}
+	tmp := co.specPath(id) + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("fabric: persist spec: %w", err)
+	}
+	return os.Rename(tmp, co.specPath(id))
+}
+
+// reload restores every persisted campaign from the journal directory.
+func (co *Coordinator) reload() error {
+	ents, err := os.ReadDir(co.cfg.JournalDir)
+	if err != nil {
+		return fmt.Errorf("fabric: reload: %w", err)
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	var names []string
+	for _, e := range ents {
+		if n := e.Name(); strings.HasSuffix(n, ".spec.json") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names) // deterministic reload order
+	for _, n := range names {
+		id := strings.TrimSuffix(n, ".spec.json")
+		b, err := os.ReadFile(filepath.Join(co.cfg.JournalDir, n))
+		if err != nil {
+			return fmt.Errorf("fabric: reload %s: %w", n, err)
+		}
+		var spec CampaignSpec
+		if err := json.Unmarshal(b, &spec); err != nil {
+			return fmt.Errorf("fabric: reload %s: corrupt spec: %w", n, err)
+		}
+		prior, warns, err := harness.LoadJournal(co.journalPath(id), spec.Fingerprint)
+		if err != nil {
+			return fmt.Errorf("fabric: reload %s: %w", n, err)
+		}
+		for _, w := range warns {
+			co.logf("%s", w)
+		}
+		c, err := co.installLocked(id, spec, prior)
+		if err != nil {
+			return err
+		}
+		co.logf("campaign %s (%s): reloaded, %d/%d cells already done",
+			id, c.name, c.done, len(c.order))
+	}
+	co.updateGaugesLocked()
+	return nil
+}
+
+// Lease grants the next cell to worker, fair-share round-robin across
+// running campaigns. ok is false when no work is queued.
+func (co *Coordinator) Lease(worker string) (Lease, bool) {
+	if worker == "" {
+		return Lease{}, false
+	}
+	now := co.now()
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.touchWorkerLocked(worker, now)
+	// Round-robin by campaign: start at the cursor, take the first
+	// campaign with queued work, advance the cursor past it.
+	for i := 0; i < len(co.order); i++ {
+		c := co.campaigns[co.order[(co.rr+i)%len(co.order)]]
+		if c.cancelled || len(c.queue) == 0 {
+			continue
+		}
+		co.rr = (co.rr + i + 1) % len(co.order)
+		key := c.queue[0]
+		c.queue = c.queue[1:]
+		j := c.jobs[key]
+		j.state = jobLeased
+		j.worker = worker
+		j.expiry = now.Add(co.cfg.leaseTTL())
+		j.attempts++
+		j.lastCycles = 0
+		j.lastBeatAt = now
+		j.everBeaten = false
+		co.workers[worker].leases++
+		if co.metrics != nil {
+			co.metrics.leasesGranted.Inc()
+		}
+		co.updateGaugesLocked()
+		return Lease{
+			Campaign:       c.id,
+			Spec:           j.spec,
+			TTL:            co.cfg.leaseTTL(),
+			HeartbeatEvery: co.cfg.leaseTTL() / 3,
+		}, true
+	}
+	return Lease{}, false
+}
+
+// Heartbeat extends a lease and feeds the fleet view. ok is false when the
+// worker no longer owns the lease (expired and requeued, already completed
+// by someone else, campaign cancelled): the worker should abandon the cell.
+func (co *Coordinator) Heartbeat(req HeartbeatRequest) bool {
+	now := co.now()
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	w := co.touchWorkerLocked(req.Worker, now)
+	c := co.campaigns[req.Campaign]
+	if c == nil || c.cancelled {
+		return false
+	}
+	j := c.jobs[req.Key]
+	if j == nil || j.state != jobLeased || j.worker != req.Worker {
+		return false
+	}
+	j.expiry = now.Add(co.cfg.leaseTTL())
+	// Cycle rate: EWMA over heartbeat deltas.
+	if dt := now.Sub(j.lastBeatAt).Seconds(); dt > 0 && j.everBeaten && req.Cycles >= j.lastCycles {
+		inst := float64(req.Cycles-j.lastCycles) / dt
+		if w.cycleRate == 0 {
+			w.cycleRate = inst
+		} else {
+			w.cycleRate = 0.75*w.cycleRate + 0.25*inst
+		}
+	}
+	j.lastCycles = req.Cycles
+	j.lastBeatAt = now
+	j.everBeaten = true
+	if co.metrics != nil {
+		co.metrics.heartbeats.Inc()
+	}
+	return true
+}
+
+// Result records a cell's terminal outcome. Successful results are deduped
+// idempotently on job key (first result wins, even from a worker whose
+// lease already expired); failures spend the cell's requeue budget.
+func (co *Coordinator) Result(req ResultRequest) (ResultResponse, error) {
+	now := co.now()
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.touchWorkerLocked(req.Worker, now)
+	c := co.campaigns[req.Campaign]
+	if c == nil {
+		return ResultResponse{}, fmt.Errorf("fabric: unknown campaign %q", req.Campaign)
+	}
+	j := c.jobs[req.Key]
+	if j == nil {
+		return ResultResponse{}, fmt.Errorf("fabric: campaign %s has no job %q", req.Campaign, req.Key)
+	}
+	if c.cancelled {
+		return ResultResponse{Accepted: false}, nil
+	}
+	if j.state == jobDone {
+		// Double completion: a worker we presumed dead finished anyway.
+		if co.metrics != nil {
+			co.metrics.dedups.Inc()
+		}
+		co.logf("campaign %s: deduped double completion of %s from %s", c.id, req.Key, req.Worker)
+		return ResultResponse{Accepted: false}, nil
+	}
+	if req.Released {
+		// Voluntary handback (draining worker): requeue at no budget cost.
+		if j.state == jobLeased && j.worker == req.Worker {
+			co.releaseLeaseLocked(c, j)
+			j.state = jobQueued
+			c.queue = append(c.queue, req.Key)
+			c.requeues++
+			if co.metrics != nil {
+				co.metrics.requeues.Inc()
+			}
+			co.logf("campaign %s: %s released by draining worker %s, requeued", c.id, req.Key, req.Worker)
+			co.updateGaugesLocked()
+			return ResultResponse{Accepted: true}, nil
+		}
+		return ResultResponse{Accepted: false}, nil
+	}
+	co.releaseLeaseLocked(c, j)
+
+	if req.OK {
+		j.state = jobDone
+		j.result = append(json.RawMessage(nil), req.Result...)
+		j.failure = nil
+		c.done++
+		c.jnl.Done(req.Key, j.attempts, json.RawMessage(j.result), req.Worker)
+		if w := co.workers[req.Worker]; w != nil {
+			w.done++
+		}
+		if co.metrics != nil {
+			co.metrics.resultsOK.Inc()
+		}
+		co.updateGaugesLocked()
+		return ResultResponse{Accepted: true}, nil
+	}
+
+	kind := req.FailKind
+	if kind == "" {
+		kind = harness.FailError
+	}
+	if w := co.workers[req.Worker]; w != nil {
+		w.failed++
+	}
+	if co.metrics != nil {
+		co.metrics.resultsFailed.Inc()
+	}
+	co.failOrRequeueLocked(c, j, req.Worker, harness.JobFailure{
+		Key: req.Key, Seed: j.spec.Seed, Kind: kind,
+		Attempts: j.attempts, Err: req.Error,
+	})
+	co.updateGaugesLocked()
+	return ResultResponse{Accepted: true}, nil
+}
+
+// releaseLeaseLocked drops a lease's bookkeeping (the job's next state is
+// the caller's business).
+func (co *Coordinator) releaseLeaseLocked(c *campaign, j *job) {
+	if j.state == jobLeased {
+		if w := co.workers[j.worker]; w != nil && w.leases > 0 {
+			w.leases--
+		}
+		j.worker = ""
+	}
+}
+
+// failOrRequeueLocked spends the cell's requeue budget: requeue while it
+// lasts, mark failed once exhausted. worker is the agent the failure is
+// attributed to in the journal.
+func (co *Coordinator) failOrRequeueLocked(c *campaign, j *job, worker string, f harness.JobFailure) {
+	if j.budget.Allow() {
+		j.state = jobQueued
+		c.queue = append(c.queue, f.Key)
+		c.requeues++
+		if co.metrics != nil {
+			co.metrics.requeues.Inc()
+		}
+		co.logf("campaign %s: requeued %s after %s (%s), attempt %d", c.id, f.Key, f.Kind, f.Err, f.Attempts)
+		return
+	}
+	j.state = jobFailed
+	j.failure = &f
+	c.failed++
+	c.jnl.Failed(f, worker)
+	co.logf("campaign %s: %s FAILED permanently: %s", c.id, f.Key, f.Err)
+}
+
+// ExpireLeases requeues every lease whose heartbeat deadline has passed —
+// the worker-loss detector — and prunes long-silent idle workers from the
+// fleet view. It returns how many leases expired. The server runs this on
+// a ticker; tests call it directly with a fake clock.
+func (co *Coordinator) ExpireLeases() int {
+	now := co.now()
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	expired := 0
+	for _, id := range co.order {
+		c := co.campaigns[id]
+		for _, key := range c.order {
+			j := c.jobs[key]
+			if j.state != jobLeased || now.Before(j.expiry) {
+				continue
+			}
+			expired++
+			worker := j.worker
+			if w := co.workers[worker]; w != nil {
+				w.lost++
+			}
+			if co.metrics != nil {
+				co.metrics.expiries.Inc()
+			}
+			co.releaseLeaseLocked(c, j)
+			co.failOrRequeueLocked(c, j, worker, harness.JobFailure{
+				Key: key, Seed: j.spec.Seed, Kind: FailLostWorker,
+				Attempts: j.attempts,
+				Err:      fmt.Sprintf("lease on %s expired (no heartbeat from %q within %s)", key, worker, co.cfg.leaseTTL()),
+			})
+		}
+	}
+	// Prune workers that hold nothing and have gone silent.
+	for name, w := range co.workers {
+		if w.leases == 0 && now.Sub(w.lastSeen) > co.cfg.pruneAfter() {
+			delete(co.workers, name)
+			co.dropWorkerGauges(name)
+		}
+	}
+	if expired > 0 {
+		co.updateGaugesLocked()
+	}
+	return expired
+}
+
+// FailLostWorker classifies a cell whose lease expired because its worker
+// stopped heartbeating — the fabric's worker-loss fault class.
+const FailLostWorker harness.FailKind = "lost-worker"
+
+// Status reports one campaign's live counters.
+func (co *Coordinator) Status(id string) (CampaignStatus, error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	c := co.campaigns[id]
+	if c == nil {
+		return CampaignStatus{}, fmt.Errorf("fabric: unknown campaign %q", id)
+	}
+	return co.statusLocked(c), nil
+}
+
+func (co *Coordinator) statusLocked(c *campaign) CampaignStatus {
+	leased := 0
+	for _, j := range c.jobs {
+		if j.state == jobLeased {
+			leased++
+		}
+	}
+	return CampaignStatus{
+		ID:          c.id,
+		Name:        c.name,
+		Fingerprint: c.fingerprint,
+		State:       c.state(),
+		Total:       len(c.order),
+		Queued:      len(c.queue),
+		Leased:      leased,
+		Done:        c.done,
+		Failed:      c.failed,
+		Requeues:    c.requeues,
+	}
+}
+
+// List reports every campaign, in submission order.
+func (co *Coordinator) List() []CampaignStatus {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	out := make([]CampaignStatus, 0, len(co.order))
+	for _, id := range co.order {
+		out = append(out, co.statusLocked(co.campaigns[id]))
+	}
+	return out
+}
+
+// Results returns a campaign's per-key results (raw worker JSON) and the
+// structured failures of cells that exhausted their budgets. Available at
+// any time; callers that need completeness should check State first.
+func (co *Coordinator) Results(id string) (CampaignResults, error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	c := co.campaigns[id]
+	if c == nil {
+		return CampaignResults{}, fmt.Errorf("fabric: unknown campaign %q", id)
+	}
+	out := CampaignResults{
+		ID:      c.id,
+		State:   c.state(),
+		Results: make(map[string]json.RawMessage, c.done),
+	}
+	for _, key := range c.order {
+		j := c.jobs[key]
+		switch j.state {
+		case jobDone:
+			out.Results[key] = append(json.RawMessage(nil), j.result...)
+		case jobFailed:
+			out.Failures = append(out.Failures, *j.failure)
+		}
+	}
+	return out, nil
+}
+
+// Cancel stops a campaign: queued cells are dropped, running workers are
+// told their leases are lost at the next heartbeat, and late results are
+// ignored. Journaled completions are kept.
+func (co *Coordinator) Cancel(id string) error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	c := co.campaigns[id]
+	if c == nil {
+		return fmt.Errorf("fabric: unknown campaign %q", id)
+	}
+	if !c.cancelled {
+		c.cancelled = true
+		c.queue = nil
+		for _, j := range c.jobs {
+			if j.state == jobLeased {
+				co.releaseLeaseLocked(c, j)
+				j.state = jobQueued
+			}
+		}
+		co.logf("campaign %s (%s): cancelled", c.id, c.name)
+	}
+	co.updateGaugesLocked()
+	return nil
+}
+
+// Fleet reports the live worker view, sorted by name.
+func (co *Coordinator) Fleet() []WorkerStatus {
+	now := co.now()
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	out := make([]WorkerStatus, 0, len(co.workers))
+	for _, w := range co.workers {
+		out = append(out, WorkerStatus{
+			Name:         w.name,
+			Leases:       w.leases,
+			HeartbeatAge: now.Sub(w.lastSeen),
+			Done:         w.done,
+			Failed:       w.failed,
+			Lost:         w.lost,
+			CycleRate:    w.cycleRate,
+		})
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Name < out[k].Name })
+	return out
+}
+
+// Close flushes and closes every campaign journal.
+func (co *Coordinator) Close() {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	for _, c := range co.campaigns {
+		c.jnl.Close()
+		c.jnl = nil
+	}
+}
+
+// touchWorkerLocked records contact from a worker, registering its
+// per-worker fleet gauges on first sight.
+func (co *Coordinator) touchWorkerLocked(name string, now time.Time) *workerInfo {
+	if name == "" {
+		return nil
+	}
+	w := co.workers[name]
+	if w == nil {
+		w = &workerInfo{name: name}
+		co.workers[name] = w
+		co.registerWorkerGauges(name)
+		co.logf("worker %q joined the fleet", name)
+	}
+	w.lastSeen = now
+	return w
+}
+
+// registerWorkerGauges exports one worker's fleet row as labeled gauges.
+// The gauge funcs read coordinator state at scrape time (the registry
+// releases its own lock before calling them, so lock order is safe).
+func (co *Coordinator) registerWorkerGauges(name string) {
+	if co.metrics == nil {
+		return
+	}
+	labels := fmt.Sprintf("worker=%q", name)
+	read := func(f func(*workerInfo) float64) func() float64 {
+		return func() float64 {
+			co.mu.Lock()
+			defer co.mu.Unlock()
+			w := co.workers[name]
+			if w == nil {
+				return 0
+			}
+			return f(w)
+		}
+	}
+	reg := co.metrics.reg
+	reg.LabeledGaugeFunc("mtvp_fleet_leases", labels,
+		"cells currently leased to the worker",
+		read(func(w *workerInfo) float64 { return float64(w.leases) }))
+	reg.LabeledGaugeFunc("mtvp_fleet_heartbeat_age_seconds", labels,
+		"seconds since the worker last contacted the coordinator",
+		func() float64 {
+			co.mu.Lock()
+			defer co.mu.Unlock()
+			w := co.workers[name]
+			if w == nil {
+				return 0
+			}
+			return co.now().Sub(w.lastSeen).Seconds()
+		})
+	reg.LabeledGaugeFunc("mtvp_fleet_jobs_done", labels,
+		"cells the worker completed successfully",
+		read(func(w *workerInfo) float64 { return float64(w.done) }))
+	reg.LabeledGaugeFunc("mtvp_fleet_jobs_failed", labels,
+		"cell failures the worker reported",
+		read(func(w *workerInfo) float64 { return float64(w.failed) }))
+	reg.LabeledGaugeFunc("mtvp_fleet_leases_lost", labels,
+		"leases the worker lost to heartbeat expiry",
+		read(func(w *workerInfo) float64 { return float64(w.lost) }))
+	reg.LabeledGaugeFunc("mtvp_fleet_cycle_rate", labels,
+		"recent simulated cycles per second (EWMA over heartbeats)",
+		read(func(w *workerInfo) float64 { return w.cycleRate }))
+}
+
+// dropWorkerGauges retires a pruned worker's labeled gauges.
+func (co *Coordinator) dropWorkerGauges(name string) {
+	if co.metrics == nil {
+		return
+	}
+	labels := fmt.Sprintf("worker=%q", name)
+	for _, metric := range []string{
+		"mtvp_fleet_leases", "mtvp_fleet_heartbeat_age_seconds",
+		"mtvp_fleet_jobs_done", "mtvp_fleet_jobs_failed",
+		"mtvp_fleet_leases_lost", "mtvp_fleet_cycle_rate",
+	} {
+		co.metrics.reg.Unregister(metric, labels)
+	}
+}
+
+// updateGaugesLocked refreshes the aggregate gauges.
+func (co *Coordinator) updateGaugesLocked() {
+	if co.metrics == nil {
+		return
+	}
+	running, queued, leased := 0, 0, 0
+	for _, c := range co.campaigns {
+		if c.state() == StateRunning {
+			running++
+		}
+		queued += len(c.queue)
+		for _, j := range c.jobs {
+			if j.state == jobLeased {
+				leased++
+			}
+		}
+	}
+	co.metrics.campaignsLive.Set(int64(running))
+	co.metrics.jobsQueued.Set(int64(queued))
+	co.metrics.jobsLeased.Set(int64(leased))
+}

@@ -1,0 +1,400 @@
+package fabric
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"mtvp/internal/harness"
+	"mtvp/internal/telemetry"
+)
+
+// fakeClock drives lease expiry deterministically.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time             { return f.t }
+func (f *fakeClock) advance(d time.Duration)    { f.t = f.t.Add(d) }
+func newFakeClock() *fakeClock                  { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func testSpec(name string, n int) CampaignSpec {
+	spec := CampaignSpec{Name: name, Fingerprint: "fp"}
+	for i := 0; i < n; i++ {
+		spec.Jobs = append(spec.Jobs, JobSpec{
+			Key:   fmt.Sprintf("%s/cell-%02d", name, i),
+			Bench: "mcf", Preset: "mtvp4", Seed: uint64(i),
+		})
+	}
+	return spec
+}
+
+func newTestCoordinator(t *testing.T, clk *fakeClock, cfg CoordinatorConfig) *Coordinator {
+	t.Helper()
+	if clk != nil {
+		cfg.Now = clk.now
+	}
+	co, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(co.Close)
+	return co
+}
+
+func TestSubmitIsIdempotent(t *testing.T) {
+	co := newTestCoordinator(t, nil, CoordinatorConfig{})
+	spec := testSpec("fig1", 3)
+	r1, err := co.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := co.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ID != r2.ID || r1.Attached || !r2.Attached {
+		t.Fatalf("resubmit must attach to the same campaign: %+v vs %+v", r1, r2)
+	}
+	if len(co.List()) != 1 {
+		t.Fatalf("want 1 campaign, got %d", len(co.List()))
+	}
+
+	// A different fingerprint is a different campaign.
+	spec2 := spec
+	spec2.Fingerprint = "other"
+	r3, err := co.Submit(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.ID == r1.ID {
+		t.Fatal("different fingerprints must not collide on one campaign ID")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	co := newTestCoordinator(t, nil, CoordinatorConfig{})
+	if _, err := co.Submit(CampaignSpec{Name: "x"}); err == nil {
+		t.Error("empty campaign must be rejected")
+	}
+	spec := testSpec("dup", 2)
+	spec.Jobs[1].Key = spec.Jobs[0].Key
+	if _, err := co.Submit(spec); err == nil {
+		t.Error("duplicate job keys must be rejected")
+	}
+}
+
+func TestLeaseLifecycleAndExpiry(t *testing.T) {
+	clk := newFakeClock()
+	co := newTestCoordinator(t, clk, CoordinatorConfig{LeaseTTL: 10 * time.Second, Retries: 1})
+	sub, err := co.Submit(testSpec("exp", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := sub.ID
+	key := "exp/cell-00"
+
+	lease, ok := co.Lease("w1")
+	if !ok || lease.Spec.Key != key || lease.Campaign != id {
+		t.Fatalf("bad lease: %+v ok=%v", lease, ok)
+	}
+	if _, ok := co.Lease("w2"); ok {
+		t.Fatal("only one cell: second lease must find nothing")
+	}
+
+	// Heartbeats keep the lease alive past its original TTL.
+	clk.advance(8 * time.Second)
+	if !co.Heartbeat(HeartbeatRequest{Worker: "w1", Campaign: id, Key: key, Cycles: 1000}) {
+		t.Fatal("heartbeat from the lease holder must be accepted")
+	}
+	clk.advance(8 * time.Second)
+	if n := co.ExpireLeases(); n != 0 {
+		t.Fatalf("heartbeat extended the lease; expired %d", n)
+	}
+
+	// Heartbeat loss: the lease expires and the cell requeues once
+	// (Retries=1), and the next lease can go to another worker.
+	clk.advance(11 * time.Second)
+	if n := co.ExpireLeases(); n != 1 {
+		t.Fatalf("want 1 expiry, got %d", n)
+	}
+	if co.Heartbeat(HeartbeatRequest{Worker: "w1", Campaign: id, Key: key, Cycles: 2000}) {
+		t.Fatal("heartbeat after expiry must be refused")
+	}
+	st, _ := co.Status(id)
+	if st.Queued != 1 || st.Requeues != 1 || st.State != StateRunning {
+		t.Fatalf("cell must requeue after expiry: %+v", st)
+	}
+	lease2, ok := co.Lease("w2")
+	if !ok || lease2.Spec.Key != key {
+		t.Fatalf("requeued cell must be leasable by another worker: %+v ok=%v", lease2, ok)
+	}
+
+	// Budget exhausted: the second expiry fails the cell permanently with
+	// the worker-loss fault class.
+	clk.advance(11 * time.Second)
+	if n := co.ExpireLeases(); n != 1 {
+		t.Fatalf("want 1 expiry, got %d", n)
+	}
+	st, _ = co.Status(id)
+	if st.Failed != 1 || st.State != StateFailed {
+		t.Fatalf("budget exhausted must fail the cell: %+v", st)
+	}
+	res, _ := co.Results(id)
+	if len(res.Failures) != 1 || res.Failures[0].Kind != FailLostWorker {
+		t.Fatalf("failure must be classified as worker loss: %+v", res.Failures)
+	}
+	if !strings.Contains(res.Failures[0].Err, `"w2"`) {
+		t.Fatalf("failure must name the lost worker: %s", res.Failures[0].Err)
+	}
+}
+
+func TestDoubleCompletionDedup(t *testing.T) {
+	clk := newFakeClock()
+	co := newTestCoordinator(t, clk, CoordinatorConfig{LeaseTTL: 10 * time.Second, Retries: 3})
+	sub, _ := co.Submit(testSpec("dedup", 1))
+	id, key := sub.ID, "dedup/cell-00"
+
+	co.Lease("w1")
+	clk.advance(11 * time.Second)
+	co.ExpireLeases() // w1 presumed dead, cell requeued
+	co.Lease("w2")
+
+	// w2 finishes first.
+	r2, err := co.Result(ResultRequest{Worker: "w2", Campaign: id, Key: key, OK: true, Result: json.RawMessage(`{"v":2}`)})
+	if err != nil || !r2.Accepted {
+		t.Fatalf("first completion must be accepted: %+v %v", r2, err)
+	}
+	// The presumed-dead w1 finishes anyway: deduped, first result kept.
+	r1, err := co.Result(ResultRequest{Worker: "w1", Campaign: id, Key: key, OK: true, Result: json.RawMessage(`{"v":1}`)})
+	if err != nil || r1.Accepted {
+		t.Fatalf("double completion must be deduped: %+v %v", r1, err)
+	}
+	res, _ := co.Results(id)
+	if string(res.Results[key]) != `{"v":2}` {
+		t.Fatalf("first result must win, got %s", res.Results[key])
+	}
+	if res.State != StateComplete {
+		t.Fatalf("campaign must be complete, got %s", res.State)
+	}
+}
+
+func TestReleasedHandbackSkipsBudget(t *testing.T) {
+	clk := newFakeClock()
+	co := newTestCoordinator(t, clk, CoordinatorConfig{LeaseTTL: 10 * time.Second, Retries: 1})
+	sub, _ := co.Submit(testSpec("rel", 1))
+	id, key := sub.ID, "rel/cell-00"
+
+	// Release (drain) many times: never burns the retry budget.
+	for i := 0; i < 5; i++ {
+		if _, ok := co.Lease("w1"); !ok {
+			t.Fatalf("round %d: lease refused", i)
+		}
+		resp, err := co.Result(ResultRequest{Worker: "w1", Campaign: id, Key: key, Released: true})
+		if err != nil || !resp.Accepted {
+			t.Fatalf("round %d: release refused: %+v %v", i, resp, err)
+		}
+	}
+	st, _ := co.Status(id)
+	if st.Failed != 0 || st.Queued != 1 || st.Requeues != 5 {
+		t.Fatalf("releases must requeue without failing: %+v", st)
+	}
+}
+
+func TestReportedFailureSpendsBudget(t *testing.T) {
+	co := newTestCoordinator(t, nil, CoordinatorConfig{Retries: 2})
+	sub, _ := co.Submit(testSpec("fail", 1))
+	id, key := sub.ID, "fail/cell-00"
+
+	for i := 0; i < 2; i++ {
+		co.Lease("w1")
+		co.Result(ResultRequest{Worker: "w1", Campaign: id, Key: key, OK: false, Error: "boom", FailKind: harness.FailPanic})
+		st, _ := co.Status(id)
+		if st.Queued != 1 {
+			t.Fatalf("retry %d must requeue: %+v", i, st)
+		}
+	}
+	co.Lease("w1")
+	co.Result(ResultRequest{Worker: "w1", Campaign: id, Key: key, OK: false, Error: "boom", FailKind: harness.FailPanic})
+	st, _ := co.Status(id)
+	if st.State != StateFailed || st.Failed != 1 {
+		t.Fatalf("exhausted budget must fail the campaign: %+v", st)
+	}
+	res, _ := co.Results(id)
+	if len(res.Failures) != 1 || res.Failures[0].Kind != harness.FailPanic || res.Failures[0].Attempts != 3 {
+		t.Fatalf("failure record wrong: %+v", res.Failures)
+	}
+}
+
+// Fair-share: with two campaigns queued, leases alternate between them
+// round-robin instead of draining the first submitter.
+func TestFairShareRoundRobin(t *testing.T) {
+	co := newTestCoordinator(t, nil, CoordinatorConfig{})
+	a, _ := co.Submit(testSpec("tenant-a", 4))
+	b, _ := co.Submit(testSpec("tenant-b", 4))
+
+	var got []string
+	for i := 0; i < 8; i++ {
+		lease, ok := co.Lease("w")
+		if !ok {
+			t.Fatalf("lease %d refused", i)
+		}
+		got = append(got, lease.Campaign)
+	}
+	want := []string{a.ID, b.ID, a.ID, b.ID, a.ID, b.ID, a.ID, b.ID}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("lease order not fair-share: got %v", got)
+		}
+	}
+}
+
+func TestCancelDropsQueueAndRevokesLeases(t *testing.T) {
+	co := newTestCoordinator(t, nil, CoordinatorConfig{})
+	sub, _ := co.Submit(testSpec("cancel", 3))
+	id := sub.ID
+	lease, _ := co.Lease("w1")
+	if err := co.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := co.Status(id)
+	if st.State != StateCancelled || st.Queued != 0 {
+		t.Fatalf("cancel must drop the queue: %+v", st)
+	}
+	if co.Heartbeat(HeartbeatRequest{Worker: "w1", Campaign: id, Key: lease.Spec.Key}) {
+		t.Fatal("heartbeat on a cancelled campaign must be refused")
+	}
+	if resp, _ := co.Result(ResultRequest{Worker: "w1", Campaign: id, Key: lease.Spec.Key, OK: true, Result: json.RawMessage(`1`)}); resp.Accepted {
+		t.Fatal("late result on a cancelled campaign must be ignored")
+	}
+	if _, ok := co.Lease("w1"); ok {
+		t.Fatal("cancelled campaign must not lease")
+	}
+}
+
+// The fleet view tracks leases, outcomes, losses, and exports per-worker
+// labeled gauges on the telemetry registry.
+func TestFleetViewAndMetrics(t *testing.T) {
+	clk := newFakeClock()
+	reg := telemetry.NewRegistry()
+	co := newTestCoordinator(t, clk, CoordinatorConfig{LeaseTTL: 10 * time.Second, Retries: 5, Registry: reg})
+	sub, _ := co.Submit(testSpec("fleet", 2))
+	id := sub.ID
+
+	l1, _ := co.Lease("alpha")
+	co.Lease("beta")
+	clk.advance(time.Second)
+	co.Heartbeat(HeartbeatRequest{Worker: "alpha", Campaign: id, Key: l1.Spec.Key, Cycles: 5000})
+	clk.advance(time.Second)
+	co.Heartbeat(HeartbeatRequest{Worker: "alpha", Campaign: id, Key: l1.Spec.Key, Cycles: 15_000})
+	co.Result(ResultRequest{Worker: "alpha", Campaign: id, Key: l1.Spec.Key, OK: true, Result: json.RawMessage(`1`)})
+	clk.advance(11 * time.Second)
+	co.ExpireLeases() // beta dies
+
+	fleet := co.Fleet()
+	if len(fleet) != 2 {
+		t.Fatalf("want 2 workers, got %+v", fleet)
+	}
+	alpha, beta := fleet[0], fleet[1]
+	if alpha.Name != "alpha" || alpha.Done != 1 || alpha.Leases != 0 {
+		t.Fatalf("alpha row wrong: %+v", alpha)
+	}
+	if alpha.CycleRate < 9000 || alpha.CycleRate > 11_000 {
+		t.Fatalf("alpha cycle rate should be ~10k cycles/s, got %g", alpha.CycleRate)
+	}
+	if beta.Name != "beta" || beta.Lost != 1 {
+		t.Fatalf("beta must be charged a lost lease: %+v", beta)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`mtvp_fleet_jobs_done{worker="alpha"} 1`,
+		`mtvp_fleet_leases_lost{worker="beta"} 1`,
+		"mtvp_fabric_leases_granted_total 2",
+		"mtvp_fabric_lease_expiries_total 1",
+		"mtvp_fabric_requeues_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+
+	// A long-silent idle worker is pruned and its gauges retired.
+	clk.advance(200 * time.Second)
+	co.ExpireLeases()
+	if n := len(co.Fleet()); n != 0 {
+		t.Fatalf("silent workers must be pruned, got %d", n)
+	}
+	b.Reset()
+	reg.WritePrometheus(&b)
+	if strings.Contains(b.String(), `worker="alpha"`) {
+		t.Error("pruned worker gauges must be unregistered")
+	}
+}
+
+// A coordinator restarted on its journal directory resumes every campaign:
+// done cells keep their journaled results, unfinished cells requeue.
+func TestCoordinatorRestartResumes(t *testing.T) {
+	dir := t.TempDir()
+	clk := newFakeClock()
+	co := newTestCoordinator(t, clk, CoordinatorConfig{JournalDir: dir, Retries: 3})
+	sub, err := co.Submit(testSpec("restart", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := sub.ID
+
+	// Finish two cells, lease (but don't finish) a third, then "crash".
+	for i := 0; i < 2; i++ {
+		lease, ok := co.Lease("w1")
+		if !ok {
+			t.Fatal("lease refused")
+		}
+		co.Result(ResultRequest{
+			Worker: "w1", Campaign: id, Key: lease.Spec.Key,
+			OK: true, Result: json.RawMessage(fmt.Sprintf(`{"cell":%q}`, lease.Spec.Key)),
+		})
+	}
+	co.Lease("w1")
+	co.Close()
+
+	// Restart on the same directory.
+	co2 := newTestCoordinator(t, clk, CoordinatorConfig{JournalDir: dir, Retries: 3})
+	st, err := co2.Status(id)
+	if err != nil {
+		t.Fatalf("campaign must survive the restart: %v", err)
+	}
+	if st.Done != 2 || st.Queued != 2 || st.State != StateRunning {
+		t.Fatalf("restart state wrong: %+v", st)
+	}
+	res, _ := co2.Results(id)
+	if string(res.Results["restart/cell-00"]) != `{"cell":"restart/cell-00"}` {
+		t.Fatalf("journaled result lost: %s", res.Results["restart/cell-00"])
+	}
+
+	// Resubmitting the same spec attaches instead of duplicating.
+	r, err := co2.Submit(testSpec("restart", 4))
+	if err != nil || !r.Attached || r.ID != id {
+		t.Fatalf("resubmit after restart must attach: %+v %v", r, err)
+	}
+
+	// Finish the remaining cells.
+	for {
+		lease, ok := co2.Lease("w2")
+		if !ok {
+			break
+		}
+		co2.Result(ResultRequest{
+			Worker: "w2", Campaign: id, Key: lease.Spec.Key,
+			OK: true, Result: json.RawMessage(fmt.Sprintf(`{"cell":%q}`, lease.Spec.Key)),
+		})
+	}
+	st, _ = co2.Status(id)
+	if st.State != StateComplete || st.Done != 4 {
+		t.Fatalf("campaign must complete after restart: %+v", st)
+	}
+}

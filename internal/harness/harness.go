@@ -31,6 +31,7 @@ import (
 	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -49,6 +50,30 @@ var (
 	// completed cells are journaled, undispatched cells were never started.
 	ErrInterrupted = errors.New("harness: campaign interrupted")
 )
+
+// InterruptedError is the concrete campaign error after a graceful
+// shutdown. It matches errors.Is(err, ErrInterrupted) and remembers which
+// signal triggered the drain so CLIs can exit with the conventional
+// 128+signum code (130 for SIGINT, 143 for SIGTERM — containers send
+// SIGTERM). Sig is nil when the caller's own context died instead.
+type InterruptedError struct {
+	Sig os.Signal
+	msg string
+}
+
+func (e *InterruptedError) Error() string { return e.msg }
+
+func (e *InterruptedError) Unwrap() error { return ErrInterrupted }
+
+// ExitCode returns the conventional process exit code for the interrupting
+// signal: 128+signum for a known signal, 130 otherwise (the historical
+// SIGINT default this harness always used).
+func (e *InterruptedError) ExitCode() int {
+	if s, ok := e.Sig.(syscall.Signal); ok {
+		return 128 + int(s)
+	}
+	return 130
+}
 
 // Config tunes one campaign run. The zero value is usable: every worker the
 // machine has, no deadlines, no retries, no journal.
@@ -204,6 +229,7 @@ const (
 	EventRetry EventKind = "retry"
 	EventFail  EventKind = "fail"
 	EventDrain EventKind = "drain" // shutdown signal: dispatch stopped
+	EventWarn  EventKind = "warn"  // tolerated damage (e.g. a torn journal tail); text in Err
 )
 
 // Event is one campaign progress notification.
@@ -257,29 +283,35 @@ func Run[R any](ctx context.Context, cfg Config, jobs []Job[R]) (*Campaign[R], e
 	sum := camp.Summary
 
 	// Journal: load prior state when resuming, then open for appending.
-	var prior map[string]*record
+	var prior map[string]*Record
 	if cfg.Journal != "" && cfg.Resume {
-		var err error
-		prior, err = loadJournal(cfg.Journal, cfg.Fingerprint)
+		var (
+			warns []string
+			err   error
+		)
+		prior, warns, err = LoadJournal(cfg.Journal, cfg.Fingerprint)
 		if err != nil {
 			return nil, err
+		}
+		for _, w := range warns {
+			cfg.emit(Event{Kind: EventWarn, Err: w})
 		}
 	}
-	var jnl *journal
+	var jnl *Journal
 	if cfg.Journal != "" {
 		var err error
-		jnl, err = openJournal(cfg.Journal, cfg.Name, cfg.Fingerprint)
+		jnl, err = OpenJournal(cfg.Journal, cfg.Name, cfg.Fingerprint)
 		if err != nil {
 			return nil, err
 		}
-		defer jnl.close()
+		defer jnl.Close()
 	}
 
 	// Partition: journaled-done cells are skipped, everything else runs.
 	var torun []Job[R]
 	for _, j := range jobs {
 		rec := prior[j.Key]
-		if rec != nil && rec.Status == statusDone {
+		if rec != nil && rec.Status == StatusDone {
 			var r R
 			if err := json.Unmarshal(rec.Result, &r); err == nil {
 				camp.Results[j.Key] = r
@@ -295,13 +327,15 @@ func Run[R any](ctx context.Context, cfg Config, jobs []Job[R]) (*Campaign[R], e
 	runCtx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
 	drainCh := make(chan struct{})
+	var drainSig atomic.Value // os.Signal that triggered the drain
 	if cfg.HandleSignals {
 		sigCh := make(chan os.Signal, 2)
 		signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 		defer signal.Stop(sigCh)
 		go func() {
 			select {
-			case <-sigCh:
+			case s := <-sigCh:
+				drainSig.Store(s)
 				cfg.emit(Event{Kind: EventDrain})
 				close(drainCh) // first signal: stop dispatch, drain workers
 			case <-runCtx.Done():
@@ -339,11 +373,11 @@ func Run[R any](ctx context.Context, cfg Config, jobs []Job[R]) (*Campaign[R], e
 				if o.fail == nil {
 					camp.Results[j.Key] = o.res
 					sum.Completed++
-					jnl.done(j.Key, o.attempts, o.res)
+					jnl.Done(j.Key, o.attempts, o.res, "")
 				} else {
 					sum.Failed++
 					sum.Failures = append(sum.Failures, *o.fail)
-					jnl.failed(*o.fail)
+					jnl.Failed(*o.fail, "")
 				}
 				mu.Unlock()
 				if o.fail == nil {
@@ -370,9 +404,7 @@ feed:
 	}
 	close(jobCh)
 	wg.Wait()
-	if jnl != nil {
-		jnl.flush()
-	}
+	jnl.Flush()
 
 	sum.Unrun = sum.Total - sum.Completed - sum.Skipped - sum.Failed
 	sort.Slice(sum.Failures, func(i, k int) bool { return sum.Failures[i].Key < sum.Failures[k].Key })
@@ -381,10 +413,14 @@ feed:
 	if drained || runCtx.Err() != nil {
 		if cause := context.Cause(runCtx); cause != nil && !errors.Is(cause, ErrInterrupted) {
 			// The caller's own context died (not our signal handler).
-			return camp, fmt.Errorf("%w: %w", ErrInterrupted, cause)
+			return camp, &InterruptedError{msg: fmt.Sprintf("%v: %v", ErrInterrupted, cause)}
 		}
-		return camp, fmt.Errorf("%w: %d of %d cell(s) not run (resume with the journal to finish)",
-			ErrInterrupted, sum.Unrun, sum.Total)
+		sig, _ := drainSig.Load().(os.Signal)
+		return camp, &InterruptedError{
+			Sig: sig,
+			msg: fmt.Sprintf("%v: %d of %d cell(s) not run (resume with the journal to finish)",
+				ErrInterrupted, sum.Unrun, sum.Total),
+		}
 	}
 	if sum.Failed > 0 {
 		return camp, &FailedError{Failures: sum.Failures}

@@ -151,18 +151,18 @@ func TestFailurePaths(t *testing.T) {
 	}
 
 	// The journal holds the same verdicts, durably.
-	recs, err := loadJournal(journal, "")
+	recs, _, err := LoadJournal(journal, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, c := range checks {
 		rec := recs[c.key]
-		if rec == nil || rec.Status != statusFailed || rec.FailKind != c.kind {
+		if rec == nil || rec.Status != StatusFailed || rec.FailKind != c.kind {
 			t.Errorf("journal record for %q = %+v, want failed/%s", c.key, rec, c.kind)
 		}
 	}
 	okRec := recs["ok"]
-	if okRec == nil || okRec.Status != statusDone {
+	if okRec == nil || okRec.Status != StatusDone {
 		t.Fatalf("journal record for ok = %+v, want done", okRec)
 	}
 	var v int
@@ -268,11 +268,11 @@ func TestJournalTornTailTolerated(t *testing.T) {
 	fmt.Fprintf(f, `{"kind":"cell","key":"b","status":"do`) // torn mid-record
 	f.Close()
 
-	recs, err := loadJournal(journal, "")
+	recs, _, err := LoadJournal(journal, "")
 	if err != nil {
 		t.Fatalf("torn tail broke resume: %v", err)
 	}
-	if recs["a"] == nil || recs["a"].Status != statusDone {
+	if recs["a"] == nil || recs["a"].Status != StatusDone {
 		t.Errorf("intact record lost: %+v", recs["a"])
 	}
 	if recs["b"] != nil {
@@ -328,7 +328,7 @@ func TestParentContextCancelInterrupts(t *testing.T) {
 	if camp.Summary.Completed+camp.Summary.Failed+camp.Summary.Unrun != camp.Summary.Total {
 		t.Errorf("summary does not account for every cell: %+v", camp.Summary)
 	}
-	recs, err := loadJournal(journal, "")
+	recs, _, err := LoadJournal(journal, "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,17 +15,23 @@ import (
 // cells; a torn final line from a mid-write kill is tolerated on load. On
 // resume, the latest record per key wins: "done" cells are skipped and
 // their results reused, "failed" cells re-run.
+//
+// The journal API is exported because it outgrew this package: the
+// distributed sweep fabric (internal/fabric) persists every campaign it
+// coordinates through the same fsynced stream, so a coordinator crash is
+// exactly as resumable as a local campaign crash.
 
+// Journal record kinds and cell statuses.
 const (
-	kindHeader = "campaign"
-	kindCell   = "cell"
+	KindHeader = "campaign"
+	KindCell   = "cell"
 
-	statusDone   = "done"
-	statusFailed = "failed"
+	StatusDone   = "done"
+	StatusFailed = "failed"
 )
 
-// record is one journal line.
-type record struct {
+// Record is one journal line.
+type Record struct {
 	Kind string `json:"kind"`
 
 	// Header fields.
@@ -42,44 +48,65 @@ type record struct {
 	Error     string          `json:"error,omitempty"`
 	Stack     string          `json:"stack,omitempty"`
 	ElapsedMS int64           `json:"elapsed_ms,omitempty"`
+
+	// Worker identifies which fabric worker produced the record (empty for
+	// local in-process campaigns).
+	Worker string `json:"worker,omitempty"`
 }
 
-// loadJournal reads a journal for resume, returning the latest record per
-// cell key. A missing file is an empty (fresh) campaign. A header whose
-// fingerprint differs from fingerprint (both non-empty) is an error: the
-// journal belongs to a campaign run with different options.
-func loadJournal(path, fingerprint string) (map[string]*record, error) {
+// LoadJournal reads a journal for resume, returning the latest record per
+// cell key plus human-readable warnings about tolerated damage. A missing
+// file is an empty (fresh) campaign. A header whose fingerprint differs
+// from fingerprint (both non-empty) is an error: the journal belongs to a
+// campaign run with different options.
+//
+// Damage tolerance is deliberately narrow: a SIGKILL can tear at most the
+// final record mid-write (writes are line-atomic under the journal mutex),
+// so an unparseable *last* line is skipped with a warning, while an
+// unparseable line with valid records after it cannot be a torn tail and
+// fails the resume — silently dropping mid-file records would resurrect
+// completed cells and break report identity.
+func LoadJournal(path, fingerprint string) (map[string]*Record, []string, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return map[string]*record{}, nil
+			return map[string]*Record{}, nil, nil
 		}
-		return nil, fmt.Errorf("harness: resume: %w", err)
+		return nil, nil, fmt.Errorf("harness: resume: %w", err)
 	}
 	defer f.Close()
 
-	out := map[string]*record{}
+	out := map[string]*Record{}
+	var warns []string
+	tornLine := 0 // 1-based line number of a pending unparseable line
+	lineNo := 0
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
+		lineNo++
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
 			continue
 		}
-		var rec record
+		if tornLine != 0 {
+			// A parseable-or-not line after the bad one: the damage is not a
+			// torn tail, it is mid-file corruption.
+			return nil, nil, fmt.Errorf("harness: resume: %s:%d: corrupt record is not the final line (journal damaged mid-file)",
+				path, tornLine)
+		}
+		var rec Record
 		if err := json.Unmarshal(line, &rec); err != nil {
-			// A torn tail line from a mid-write kill: ignore. (Torn lines
-			// can only be last — writes are line-atomic under the journal
-			// mutex — so anything unparseable is the kill point.)
+			// Remember it; only acceptable if nothing follows.
+			tornLine = lineNo
 			continue
 		}
 		switch rec.Kind {
-		case kindHeader:
+		case KindHeader:
 			if fingerprint != "" && rec.Fingerprint != "" && rec.Fingerprint != fingerprint {
-				return nil, fmt.Errorf("harness: resume: journal %s was written with different options (%q, want %q)",
+				return nil, nil, fmt.Errorf("harness: resume: journal %s was written with different options (%q, want %q)",
 					path, rec.Fingerprint, fingerprint)
 			}
-		case kindCell:
+		case KindCell:
 			if rec.Key != "" {
 				r := rec
 				out[rec.Key] = &r
@@ -87,34 +114,39 @@ func loadJournal(path, fingerprint string) (map[string]*record, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("harness: resume: reading %s: %w", path, err)
+		return nil, nil, fmt.Errorf("harness: resume: reading %s: %w", path, err)
 	}
-	return out, nil
+	if tornLine != 0 {
+		warns = append(warns, fmt.Sprintf("harness: resume: %s:%d: skipping torn final record (interrupted mid-write); its cell will re-run",
+			path, tornLine))
+	}
+	return out, warns, nil
 }
 
-// journal appends checkpoint records. All methods are nil-safe so callers
-// can thread an unconfigured journal through unconditionally; writes are
-// serialized by the campaign mutex.
-type journal struct {
+// Journal appends checkpoint records. All methods are nil-safe so callers
+// can thread an unconfigured journal through unconditionally. Writes are
+// serialized by the caller (the campaign mutex locally, the coordinator
+// mutex in the fabric).
+type Journal struct {
 	f *os.File
 	w *bufio.Writer
 }
 
-// openJournal opens (creating if needed) the journal for appending and
+// OpenJournal opens (creating if needed) the journal for appending and
 // writes the campaign header.
-func openJournal(path, name, fingerprint string) (*journal, error) {
+func OpenJournal(path, name, fingerprint string) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("harness: journal: %w", err)
 	}
-	j := &journal{f: f, w: bufio.NewWriter(f)}
-	j.append(record{Kind: kindHeader, Campaign: name, Fingerprint: fingerprint})
+	j := &Journal{f: f, w: bufio.NewWriter(f)}
+	j.Append(Record{Kind: KindHeader, Campaign: name, Fingerprint: fingerprint})
 	return j, nil
 }
 
-// append marshals one record, writes it as a line, and syncs: a checkpoint
+// Append marshals one record, writes it as a line, and syncs: a checkpoint
 // that is not durable is not a checkpoint.
-func (j *journal) append(rec record) {
+func (j *Journal) Append(rec Record) {
 	if j == nil {
 		return
 	}
@@ -128,8 +160,9 @@ func (j *journal) append(rec record) {
 	j.f.Sync()
 }
 
-// done checkpoints a completed cell with its JSON-encoded result.
-func (j *journal) done(key string, attempts int, result any) {
+// Done checkpoints a completed cell with its JSON-encoded result. worker
+// attributes the cell to a fabric worker ("" for local campaigns).
+func (j *Journal) Done(key string, attempts int, result any, worker string) {
 	if j == nil {
 		return
 	}
@@ -137,23 +170,24 @@ func (j *journal) done(key string, attempts int, result any) {
 	if err != nil {
 		return
 	}
-	j.append(record{Kind: kindCell, Key: key, Status: statusDone, Attempts: attempts, Result: raw})
+	j.Append(Record{Kind: KindCell, Key: key, Status: StatusDone, Attempts: attempts, Result: raw, Worker: worker})
 }
 
-// failed checkpoints a cell that exhausted its attempts.
-func (j *journal) failed(f JobFailure) {
+// Failed checkpoints a cell that exhausted its attempts.
+func (j *Journal) Failed(f JobFailure, worker string) {
 	if j == nil {
 		return
 	}
-	j.append(record{
-		Kind: kindCell, Key: f.Key, Status: statusFailed,
+	j.Append(Record{
+		Kind: KindCell, Key: f.Key, Status: StatusFailed,
 		Attempts: f.Attempts, Seed: f.Seed,
 		FailKind: f.Kind, Error: f.Err, Stack: f.Stack,
+		Worker: worker,
 	})
 }
 
-// flush forces buffered records to disk.
-func (j *journal) flush() {
+// Flush forces buffered records to disk.
+func (j *Journal) Flush() {
 	if j == nil {
 		return
 	}
@@ -161,11 +195,11 @@ func (j *journal) flush() {
 	j.f.Sync()
 }
 
-// close flushes and closes the journal file.
-func (j *journal) close() {
+// Close flushes and closes the journal file.
+func (j *Journal) Close() {
 	if j == nil {
 		return
 	}
-	j.flush()
+	j.Flush()
 	j.f.Close()
 }

@@ -115,10 +115,19 @@ func upperBound(i int) uint64 {
 // metric is one registered instrument.
 type metric struct {
 	name, help string
+	labels     string // Prometheus label set rendered inside {...}, "" for none
 	counter    *Counter
 	gauge      *Gauge
 	gaugeFunc  func() float64
 	hist       *Histogram
+}
+
+// series is the full exposition identity of a metric: name plus labels.
+func (m *metric) series() string {
+	if m.labels == "" {
+		return m.name
+	}
+	return m.name + "{" + m.labels + "}"
 }
 
 // Registry holds named instruments. Registration (setup time) allocates;
@@ -136,16 +145,21 @@ func NewRegistry() *Registry {
 }
 
 func (r *Registry) register(name, help string, fill func(*metric)) *metric {
+	return r.registerLabeled(name, "", help, fill)
+}
+
+func (r *Registry) registerLabeled(name, labels, help string, fill func(*metric)) *metric {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if m, ok := r.byName[name]; ok {
+	m := &metric{name: name, labels: labels, help: help}
+	key := m.series()
+	if m, ok := r.byName[key]; ok {
 		return m
 	}
-	m := &metric{name: name, help: help}
 	fill(m)
-	r.byName[name] = m
+	r.byName[key] = m
 	r.metrics = append(r.metrics, m)
-	sort.Slice(r.metrics, func(i, j int) bool { return r.metrics[i].name < r.metrics[j].name })
+	sort.Slice(r.metrics, func(i, j int) bool { return r.metrics[i].series() < r.metrics[j].series() })
 	return m
 }
 
@@ -165,6 +179,38 @@ func (r *Registry) GaugeFunc(name, help string, f func() float64) {
 	r.register(name, help, func(m *metric) { m.gaugeFunc = f })
 }
 
+// LabeledGaugeFunc registers a scrape-time gauge rendered with a Prometheus
+// label set, e.g. LabeledGaugeFunc("mtvp_fleet_leases", `worker="w1"`, ...)
+// exports `mtvp_fleet_leases{worker="w1"} 2`. Series sharing a metric name
+// (differing only in labels) render as one family under a single HELP/TYPE
+// header; the fabric coordinator uses this for its per-worker fleet view.
+// Re-registering an existing (name, labels) pair is a no-op.
+func (r *Registry) LabeledGaugeFunc(name, labels, help string, f func() float64) {
+	r.registerLabeled(name, labels, help, func(m *metric) { m.gaugeFunc = f })
+}
+
+// Unregister removes the series with the given name and label set (use
+// labels "" for unlabeled instruments). Existing handles to the removed
+// instrument keep working but no longer export. It returns whether a
+// series was removed; the fabric coordinator uses it to retire the gauges
+// of workers pruned after prolonged silence.
+func (r *Registry) Unregister(name, labels string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := (&metric{name: name, labels: labels}).series()
+	if _, ok := r.byName[key]; !ok {
+		return false
+	}
+	delete(r.byName, key)
+	for i, m := range r.metrics {
+		if m.series() == key {
+			r.metrics = append(r.metrics[:i], r.metrics[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
 // Histogram returns (registering on first use) the named histogram.
 func (r *Registry) Histogram(name, help string) *Histogram {
 	return r.register(name, help, func(m *metric) { m.hist = &Histogram{} }).hist
@@ -180,23 +226,40 @@ func (r *Registry) snapshot() []*metric {
 }
 
 // WritePrometheus renders every registered instrument in the Prometheus
-// text exposition format, sorted by metric name. Histograms render as
-// cumulative _bucket series plus _sum and _count.
+// text exposition format, sorted by metric name then label set. Histograms
+// render as cumulative _bucket series plus _sum and _count. Labeled series
+// sharing a metric name render under one HELP/TYPE header.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	lastHeader := ""
 	for _, m := range r.snapshot() {
-		if m.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
-				return err
+		if m.name != lastHeader {
+			lastHeader = m.name
+			if m.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+					return err
+				}
+			}
+			kind := ""
+			switch {
+			case m.counter != nil:
+				kind = "counter"
+			case m.gauge != nil, m.gaugeFunc != nil:
+				kind = "gauge"
+			}
+			if kind != "" {
+				if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, kind); err != nil {
+					return err
+				}
 			}
 		}
 		var err error
 		switch {
 		case m.counter != nil:
-			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.name, m.name, m.counter.Value())
+			_, err = fmt.Fprintf(w, "%s %d\n", m.series(), m.counter.Value())
 		case m.gauge != nil:
-			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", m.name, m.name, m.gauge.Value())
+			_, err = fmt.Fprintf(w, "%s %d\n", m.series(), m.gauge.Value())
 		case m.gaugeFunc != nil:
-			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", m.name, m.name, m.gaugeFunc())
+			_, err = fmt.Fprintf(w, "%s %g\n", m.series(), m.gaugeFunc())
 		case m.hist != nil:
 			err = writePromHistogram(w, m.name, m.hist)
 		}

@@ -115,3 +115,50 @@ func TestObserveAllocationFree(t *testing.T) {
 		t.Errorf("hot path allocates %.1f allocs/op, want 0", n)
 	}
 }
+
+func TestLabeledGaugeFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.LabeledGaugeFunc("fleet_leases", `worker="w1"`, "leases held", func() float64 { return 2 })
+	r.LabeledGaugeFunc("fleet_leases", `worker="w2"`, "leases held", func() float64 { return 3 })
+	// Re-registering the same series is a no-op, not a duplicate.
+	r.LabeledGaugeFunc("fleet_leases", `worker="w1"`, "leases held", func() float64 { return 99 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP fleet_leases leases held\n",
+		"# TYPE fleet_leases gauge\n",
+		`fleet_leases{worker="w1"} 2` + "\n",
+		`fleet_leases{worker="w2"} 3` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// One HELP/TYPE header per family, not per series.
+	if strings.Count(out, "# TYPE fleet_leases gauge") != 1 {
+		t.Errorf("family header repeated:\n%s", out)
+	}
+	if strings.Contains(out, "} 99") {
+		t.Errorf("re-registration replaced an existing series:\n%s", out)
+	}
+
+	// Unregister retires exactly one series.
+	if !r.Unregister("fleet_leases", `worker="w1"`) {
+		t.Fatal("Unregister returned false for a live series")
+	}
+	if r.Unregister("fleet_leases", `worker="w1"`) {
+		t.Fatal("second Unregister should return false")
+	}
+	b.Reset()
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out = b.String()
+	if strings.Contains(out, `worker="w1"`) || !strings.Contains(out, `worker="w2"`) {
+		t.Errorf("unregister removed the wrong series:\n%s", out)
+	}
+}
