@@ -255,6 +255,8 @@ func (co *Coordinator) Submit(spec CampaignSpec) (SubmitResponse, error) {
 	}
 	if co.cfg.JournalDir != "" {
 		if err := co.persistSpec(id, spec); err != nil {
+			c.jnl.Close()
+			os.Remove(co.journalPath(id))
 			delete(co.campaigns, id)
 			co.order = co.order[:len(co.order)-1]
 			return SubmitResponse{}, err
@@ -378,13 +380,24 @@ func (co *Coordinator) Lease(worker string) (Lease, bool) {
 	// campaign with queued work, advance the cursor past it.
 	for i := 0; i < len(co.order); i++ {
 		c := co.campaigns[co.order[(co.rr+i)%len(co.order)]]
-		if c.cancelled || len(c.queue) == 0 {
+		if c.cancelled {
+			continue
+		}
+		var j *job
+		for len(c.queue) > 0 {
+			key := c.queue[0]
+			c.queue = c.queue[1:]
+			if cand := c.jobs[key]; cand.state == jobQueued {
+				j = cand
+				break
+			}
+			// Stale entry: the cell reached a terminal state (late success
+			// after requeue) while still listed. Never re-lease it.
+		}
+		if j == nil {
 			continue
 		}
 		co.rr = (co.rr + i + 1) % len(co.order)
-		key := c.queue[0]
-		c.queue = c.queue[1:]
-		j := c.jobs[key]
 		j.state = jobLeased
 		j.worker = worker
 		j.expiry = now.Add(co.cfg.leaseTTL())
@@ -485,9 +498,23 @@ func (co *Coordinator) Result(req ResultRequest) (ResultResponse, error) {
 		}
 		return ResultResponse{Accepted: false}, nil
 	}
-	co.releaseLeaseLocked(c, j)
-
 	if req.OK {
+		// First result wins, even from a worker whose lease already
+		// expired. Reconcile whatever state the cell drifted into while the
+		// report was in flight.
+		switch j.state {
+		case jobLeased:
+			co.releaseLeaseLocked(c, j)
+		case jobQueued:
+			// Requeued after the reporter's lease expired: drop the stale
+			// queue entry so the cell is never re-leased over a done result.
+			c.queue = removeKey(c.queue, req.Key)
+		case jobFailed:
+			// Budget exhausted, but a real result arrived anyway: revive the
+			// cell (the journal's latest-record-wins reload agrees).
+			c.failed--
+			co.logf("campaign %s: late success from %s revived failed cell %s", c.id, req.Worker, req.Key)
+		}
 		j.state = jobDone
 		j.result = append(json.RawMessage(nil), req.Result...)
 		j.failure = nil
@@ -502,6 +529,14 @@ func (co *Coordinator) Result(req ResultRequest) (ResultResponse, error) {
 		co.updateGaugesLocked()
 		return ResultResponse{Accepted: true}, nil
 	}
+
+	// Failures are only accepted from the current lease holder: a stale
+	// report from an expired lease must not spend the budget of — or
+	// double-requeue — a cell another worker now owns.
+	if j.state != jobLeased || j.worker != req.Worker {
+		return ResultResponse{Accepted: false}, nil
+	}
+	co.releaseLeaseLocked(c, j)
 
 	kind := req.FailKind
 	if kind == "" {
@@ -519,6 +554,16 @@ func (co *Coordinator) Result(req ResultRequest) (ResultResponse, error) {
 	})
 	co.updateGaugesLocked()
 	return ResultResponse{Accepted: true}, nil
+}
+
+// removeKey drops the first occurrence of key from q in place.
+func removeKey(q []string, key string) []string {
+	for i, k := range q {
+		if k == key {
+			return append(q[:i], q[i+1:]...)
+		}
+	}
+	return q
 }
 
 // releaseLeaseLocked drops a lease's bookkeeping (the job's next state is

@@ -179,6 +179,117 @@ func TestDoubleCompletionDedup(t *testing.T) {
 	}
 }
 
+// A late success for a cell that was requeued after its lease expired must
+// drop the stale queue entry: the cell is done and must never be re-leased,
+// re-completed, or double-counted toward campaign completion.
+func TestLateSuccessForRequeuedCellDropsQueueEntry(t *testing.T) {
+	clk := newFakeClock()
+	co := newTestCoordinator(t, clk, CoordinatorConfig{LeaseTTL: 10 * time.Second, Retries: 3})
+	sub, _ := co.Submit(testSpec("late", 1))
+	id, key := sub.ID, "late/cell-00"
+
+	co.Lease("w1")
+	clk.advance(11 * time.Second)
+	co.ExpireLeases() // w1 presumed dead, cell back in the queue
+
+	// w1 finishes anyway before anyone re-leases the cell.
+	resp, err := co.Result(ResultRequest{Worker: "w1", Campaign: id, Key: key, OK: true, Result: json.RawMessage(`{"v":1}`)})
+	if err != nil || !resp.Accepted {
+		t.Fatalf("late success for a queued cell must be accepted: %+v %v", resp, err)
+	}
+	st, _ := co.Status(id)
+	if st.Done != 1 || st.Queued != 0 || st.State != StateComplete {
+		t.Fatalf("done cell must leave the queue: %+v", st)
+	}
+
+	// The stale queue entry is gone: nothing left to lease, and a second
+	// worker finishing the same key is deduped, not double-counted.
+	if _, ok := co.Lease("w2"); ok {
+		t.Fatal("a done cell must never be re-leased")
+	}
+	resp, _ = co.Result(ResultRequest{Worker: "w2", Campaign: id, Key: key, OK: true, Result: json.RawMessage(`{"v":2}`)})
+	if resp.Accepted {
+		t.Fatal("second completion must be deduped")
+	}
+	st, _ = co.Status(id)
+	if st.Done != 1 || st.State != StateComplete {
+		t.Fatalf("completion must not double-count: %+v", st)
+	}
+	res, _ := co.Results(id)
+	if string(res.Results[key]) != `{"v":1}` {
+		t.Fatalf("first result must win, got %s", res.Results[key])
+	}
+}
+
+// A failure report from a worker whose lease already expired must not spend
+// the cell's budget, requeue it a second time, or corrupt the bookkeeping of
+// the worker that now owns it.
+func TestStaleFailureFromExpiredLeaseIsRejected(t *testing.T) {
+	clk := newFakeClock()
+	co := newTestCoordinator(t, clk, CoordinatorConfig{LeaseTTL: 10 * time.Second, Retries: 3})
+	sub, _ := co.Submit(testSpec("stale", 1))
+	id, key := sub.ID, "stale/cell-00"
+
+	co.Lease("w1")
+	clk.advance(11 * time.Second)
+	co.ExpireLeases() // requeue #1
+	co.Lease("w2")    // cell now belongs to w2
+
+	resp, err := co.Result(ResultRequest{Worker: "w1", Campaign: id, Key: key, OK: false, Error: "boom"})
+	if err != nil || resp.Accepted {
+		t.Fatalf("stale failure must be rejected: %+v %v", resp, err)
+	}
+	// w2 still owns the lease and can finish normally.
+	if !co.Heartbeat(HeartbeatRequest{Worker: "w2", Campaign: id, Key: key}) {
+		t.Fatal("stale failure must not revoke the current lease")
+	}
+	st, _ := co.Status(id)
+	if st.Leased != 1 || st.Queued != 0 || st.Requeues != 1 {
+		t.Fatalf("stale failure must not requeue or spend budget: %+v", st)
+	}
+	resp, _ = co.Result(ResultRequest{Worker: "w2", Campaign: id, Key: key, OK: true, Result: json.RawMessage(`1`)})
+	if !resp.Accepted {
+		t.Fatal("owner's result must be accepted")
+	}
+	st, _ = co.Status(id)
+	if st.State != StateComplete || st.Done != 1 || st.Failed != 0 {
+		t.Fatalf("campaign must complete cleanly: %+v", st)
+	}
+}
+
+// A late success for a cell that already exhausted its budget revives it —
+// and the Done/Failed counters must stay consistent (never Done+Failed >
+// Total, never a StateFailed campaign stuck with a usable result).
+func TestLateSuccessRevivesFailedCell(t *testing.T) {
+	clk := newFakeClock()
+	co := newTestCoordinator(t, clk, CoordinatorConfig{LeaseTTL: 10 * time.Second, Retries: 1})
+	sub, _ := co.Submit(testSpec("revive", 1))
+	id, key := sub.ID, "revive/cell-00"
+
+	for _, w := range []string{"w1", "w2"} {
+		co.Lease(w)
+		clk.advance(11 * time.Second)
+		co.ExpireLeases()
+	}
+	st, _ := co.Status(id)
+	if st.State != StateFailed || st.Failed != 1 {
+		t.Fatalf("budget must be exhausted first: %+v", st)
+	}
+
+	resp, err := co.Result(ResultRequest{Worker: "w1", Campaign: id, Key: key, OK: true, Result: json.RawMessage(`{"v":1}`)})
+	if err != nil || !resp.Accepted {
+		t.Fatalf("late success must revive a failed cell: %+v %v", resp, err)
+	}
+	st, _ = co.Status(id)
+	if st.Done != 1 || st.Failed != 0 || st.State != StateComplete {
+		t.Fatalf("revival must rebalance the counters: %+v", st)
+	}
+	res, _ := co.Results(id)
+	if len(res.Failures) != 0 || string(res.Results[key]) != `{"v":1}` {
+		t.Fatalf("revived cell must report its result, not a failure: %+v", res)
+	}
+}
+
 func TestReleasedHandbackSkipsBudget(t *testing.T) {
 	clk := newFakeClock()
 	co := newTestCoordinator(t, clk, CoordinatorConfig{LeaseTTL: 10 * time.Second, Retries: 1})

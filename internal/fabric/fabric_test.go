@@ -12,6 +12,8 @@ import (
 	"net/http"
 	"testing"
 	"time"
+
+	"mtvp/internal/telemetry"
 )
 
 // detRun computes a result purely from the spec — the distributed analogue
@@ -121,6 +123,36 @@ func TestServerRejectsBadToken(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("/healthz must not require auth, got %d", resp.StatusCode)
+	}
+}
+
+// The telemetry/profiling surface shares the listener with the API and must
+// sit behind the same bearer token — pprof leaks cmdline and heap contents.
+func TestDebugSurfaceRequiresAuth(t *testing.T) {
+	_, srv := startServer(t,
+		CoordinatorConfig{Registry: telemetry.NewRegistry()},
+		ServerConfig{Token: "sekrit"})
+
+	for _, path := range []string{"/metrics", "/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Errorf("%s without token: got %d, want 401", path, resp.StatusCode)
+		}
+
+		req, _ := http.NewRequest(http.MethodGet, srv.URL()+path, nil)
+		req.Header.Set("Authorization", "Bearer sekrit")
+		resp, err = http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s with token: got %d, want 200", path, resp.StatusCode)
+		}
 	}
 }
 

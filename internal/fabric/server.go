@@ -61,16 +61,19 @@ func NewServer(co *Coordinator, cfg ServerConfig) (*Server, error) {
 		fmt.Fprintln(w, "ok")
 	})
 	if co.cfg.Registry != nil {
+		// The profiling and metrics surface carries internal detail
+		// (cmdline, heap contents); it sits behind the same bearer token as
+		// the API.
 		reg := co.cfg.Registry
-		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		mux.HandleFunc("GET /metrics", s.auth(func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 			reg.WritePrometheus(w)
-		})
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}))
+		mux.HandleFunc("/debug/pprof/", s.auth(pprof.Index))
+		mux.HandleFunc("/debug/pprof/cmdline", s.auth(pprof.Cmdline))
+		mux.HandleFunc("/debug/pprof/profile", s.auth(pprof.Profile))
+		mux.HandleFunc("/debug/pprof/symbol", s.auth(pprof.Symbol))
+		mux.HandleFunc("/debug/pprof/trace", s.auth(pprof.Trace))
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
