@@ -15,6 +15,7 @@ import (
 	"mtvp/internal/config"
 	"mtvp/internal/core"
 	"mtvp/internal/fabric"
+	"mtvp/internal/fabric/chaos"
 	"mtvp/internal/workload"
 )
 
@@ -138,6 +139,70 @@ func TestRemoteSweepMatchesLocalByteForByte(t *testing.T) {
 	if chaos != local {
 		t.Errorf("worker-loss report differs from local:\n--- local ---\n%s--- chaos ---\n%s", local, chaos)
 	}
+}
+
+// TestRemoteSweepSurvivesByzantineWorkerAndChaos is the untrusted-fleet
+// acceptance test at the paper-artifact level: two honest workers and one
+// always-tampering byzantine worker, all talking through a seeded lossy
+// network, still render the exact local Fig2 bytes, and the byzantine
+// worker ends quarantined.
+func TestRemoteSweepSurvivesByzantineWorkerAndChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations across a hostile fleet")
+	}
+
+	local := renderFig2(t, fabricOpts())
+
+	co, url, _ := startFabric(t, 0, fabric.CoordinatorConfig{
+		LeaseTTL: 2 * time.Second, Retries: 8,
+	})
+	lossy, ok := chaos.ByName("lossy")
+	if !ok {
+		t.Fatal("lossy profile missing")
+	}
+	proxy, err := chaos.NewProxy("127.0.0.1:0", url, lossy, 2026)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { proxy.Close() })
+
+	worker := func(name string, tamper func(json.RawMessage) json.RawMessage) {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			fabric.RunWorker(ctx, fabric.WorkerConfig{
+				Coordinator: proxy.URL(), Token: "test-token", Name: name, Slots: 2,
+				Poll: 10 * time.Millisecond, Run: RunSpec, Tamper: tamper,
+			})
+		}()
+		t.Cleanup(func() {
+			cancel()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Errorf("worker %s failed to drain", name)
+			}
+		})
+	}
+	worker("honest-0", nil)
+	worker("honest-1", nil)
+	worker("byzantine", func(json.RawMessage) json.RawMessage {
+		return json.RawMessage(`{"ipc":99.9,"EVIL":true}`)
+	})
+
+	o := fabricOpts()
+	o.Coordinator, o.Token = url, "test-token"
+	hostile := renderFig2(t, o)
+	if hostile != local {
+		t.Errorf("hostile-fleet report differs from local:\n--- local ---\n%s--- hostile ---\n%s", local, hostile)
+	}
+	for _, w := range co.Fleet() {
+		if w.Name == "byzantine" && (w.Trust != "disabled" || w.Corrupt < 2) {
+			t.Errorf("byzantine worker must end quarantined: %+v", w)
+		}
+	}
+	t.Logf("injected faults: %s", chaos.FormatCounts(proxy.T.Counts()))
 }
 
 // RunSpec must honour cancellation (the worker drain path depends on the

@@ -1,0 +1,617 @@
+package fabric
+
+// Byzantine-defense tests: attestation rejection, fleet trust quarantine,
+// verify-k quorums, spot checks, tiebreaks, admission control — unit level
+// with a fake clock, then end-to-end with real workers, a hostile agent,
+// and a seeded lossy network.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mtvp/internal/fabric/chaos"
+	"mtvp/internal/telemetry"
+)
+
+// A result whose digest does not verify is rejected before the journal,
+// requeues its cell without spending retry budget, and escalates the
+// worker's fleet trust: clamped after one corrupt result, quarantined
+// (disabled) after two. A quarantined worker gets no leases, is never
+// pruned from the fleet view, and an honest worker completes the cell.
+func TestCorruptResultsQuarantineWorkerWithoutBudget(t *testing.T) {
+	clk := newFakeClock()
+	reg := telemetry.NewRegistry()
+	co := newTestCoordinator(t, clk, CoordinatorConfig{LeaseTTL: 10 * time.Second, Retries: 1, Registry: reg})
+	sub, _ := co.Submit(testSpec("byz", 1))
+	id, key := sub.ID, "byz/cell-00"
+
+	corrupt := func() ResultResponse {
+		req := signedOK(co, "evil", id, key, `{"v":1}`)
+		req.Result = json.RawMessage(`{"EVIL":true}`) // payload != attested payload
+		resp, err := co.Result(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Two corrupt results through two fresh leases. Retries=1, so if the
+	// rejections charged the budget the cell would be failed by now.
+	for i, wantTrust := range []string{"clamped", "disabled"} {
+		if _, ok := co.Lease("evil"); !ok {
+			t.Fatalf("round %d: lease refused", i)
+		}
+		if resp := corrupt(); resp.Accepted {
+			t.Fatalf("round %d: corrupt result must be rejected", i)
+		}
+		if trust := co.Fleet()[0].Trust; trust != wantTrust {
+			t.Fatalf("round %d: trust = %q, want %q", i, trust, wantTrust)
+		}
+	}
+	st, _ := co.Status(id)
+	if st.Corrupt != 2 || st.Failed != 0 || st.Queued != 1 || st.Requeues != 2 {
+		t.Fatalf("corrupt results must requeue without budget: %+v", st)
+	}
+
+	// Quarantined: no more leases, and even a validly-signed result is
+	// worthless.
+	if _, ok := co.Lease("evil"); ok {
+		t.Fatal("a quarantined worker must get no leases")
+	}
+	if resp, _ := co.Result(signedOK(co, "evil", id, key, `{"v":1}`)); resp.Accepted {
+		t.Fatal("a quarantined worker's results must be rejected")
+	}
+
+	// An honest worker finishes the cell; the corrupt payload never made it
+	// anywhere near the results.
+	co.Lease("good")
+	if resp, _ := co.Result(signedOK(co, "good", id, key, `{"v":1}`)); !resp.Accepted {
+		t.Fatal("honest result must be accepted")
+	}
+	res, _ := co.Results(id)
+	if string(res.Results[key]) != `{"v":1}` || res.State != StateComplete {
+		t.Fatalf("honest result must win: %+v", res)
+	}
+
+	// The fleet view and metrics expose the quarantine.
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	for _, want := range []string{
+		"mtvp_fabric_results_corrupt_total 2",
+		"mtvp_fabric_quarantines_total 1",
+		"mtvp_fabric_workers_quarantined 1",
+		`mtvp_fleet_trust{worker="evil"} 2`,
+		`mtvp_fleet_corrupt_results_total{worker="evil"} 2`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Pruning skips quarantined workers: their record is the point.
+	clk.advance(500 * time.Second)
+	co.ExpireLeases()
+	fleet := co.Fleet()
+	if len(fleet) != 1 || fleet[0].Name != "evil" || fleet[0].Trust != "disabled" {
+		t.Fatalf("quarantined worker must survive pruning (honest idle one goes): %+v", fleet)
+	}
+}
+
+// A clamped (suspect) worker's solo result is not trusted: its valid vote
+// raises the cell's bar to two agreeing votes, and a healthy worker's
+// corroboration completes it.
+func TestClampedWorkerNeedsCorroboration(t *testing.T) {
+	clk := newFakeClock()
+	co := newTestCoordinator(t, clk, CoordinatorConfig{LeaseTTL: 10 * time.Second, Retries: 3})
+	sub, _ := co.Submit(testSpec("suspect", 1))
+	id, key := sub.ID, "suspect/cell-00"
+
+	// One corrupt result clamps w1.
+	co.Lease("w1")
+	bad := signedOK(co, "w1", id, key, `{"v":7}`)
+	bad.Digest = "sha256:bogus"
+	co.Result(bad)
+	if trust := co.Fleet()[0].Trust; trust != "clamped" {
+		t.Fatalf("one corrupt result must clamp: %q", trust)
+	}
+
+	// Its valid result is accepted as a vote but does not complete the cell.
+	co.Lease("w1")
+	if resp, _ := co.Result(signedOK(co, "w1", id, key, `{"v":7}`)); !resp.Accepted {
+		t.Fatal("clamped worker's valid vote must be accepted")
+	}
+	st, _ := co.Status(id)
+	if st.Done != 0 || st.Queued != 1 {
+		t.Fatalf("suspect's solo vote must not complete the cell: %+v", st)
+	}
+	// The suspect cannot corroborate itself.
+	if _, ok := co.Lease("w1"); ok {
+		t.Fatal("a worker must never lease a cell it already voted on")
+	}
+	co.Lease("w2")
+	if resp, _ := co.Result(signedOK(co, "w2", id, key, `{"v":7}`)); !resp.Accepted {
+		t.Fatal("corroborating vote must be accepted")
+	}
+	st, _ = co.Status(id)
+	if st.Done != 1 || st.State != StateComplete {
+		t.Fatalf("two agreeing votes must complete: %+v", st)
+	}
+}
+
+// -verify 2: every cell needs two distinct workers' agreeing digests.
+func TestVerifyQuorumRequiresTwoVotes(t *testing.T) {
+	co := newTestCoordinator(t, nil, CoordinatorConfig{Verify: 2})
+	sub, _ := co.Submit(testSpec("vk", 2))
+	id := sub.ID
+
+	// w1 runs and votes both cells; neither completes on its word alone.
+	for i := 0; i < 2; i++ {
+		lease, ok := co.Lease("w1")
+		if !ok {
+			t.Fatalf("lease %d refused", i)
+		}
+		if resp, _ := co.Result(signedOK(co, "w1", id, lease.Spec.Key, `{"ok":1}`)); !resp.Accepted {
+			t.Fatal("first vote must be accepted")
+		}
+	}
+	st, _ := co.Status(id)
+	if st.Done != 0 || st.Queued != 2 {
+		t.Fatalf("one vote of two must not complete cells: %+v", st)
+	}
+	if _, ok := co.Lease("w1"); ok {
+		t.Fatal("a worker must not vote twice on one cell")
+	}
+
+	// w2 corroborates both; the campaign completes and both workers are
+	// credited.
+	for i := 0; i < 2; i++ {
+		lease, ok := co.Lease("w2")
+		if !ok {
+			t.Fatalf("corroborating lease %d refused", i)
+		}
+		co.Result(signedOK(co, "w2", id, lease.Spec.Key, `{"ok":1}`))
+	}
+	st, _ = co.Status(id)
+	if st.Done != 2 || st.State != StateComplete {
+		t.Fatalf("quorum reached must complete: %+v", st)
+	}
+	for _, w := range co.Fleet() {
+		if w.Done != 2 {
+			t.Fatalf("both voters must be credited: %+v", w)
+		}
+	}
+}
+
+// Disagreeing verification votes widen the electorate (spending budget);
+// when the budget runs out with no majority, the cell fails as no-quorum.
+func TestVerifyDisagreementWidensThenFailsNoQuorum(t *testing.T) {
+	co := newTestCoordinator(t, nil, CoordinatorConfig{Verify: 2, Retries: 1})
+	sub, _ := co.Submit(testSpec("split", 1))
+	id, key := sub.ID, "split/cell-00"
+
+	// Three workers, three different answers.
+	for i, payload := range []string{`{"v":1}`, `{"v":2}`, `{"v":3}`} {
+		w := fmt.Sprintf("w%d", i+1)
+		if _, ok := co.Lease(w); !ok {
+			t.Fatalf("%s: lease refused (electorate should have widened)", w)
+		}
+		if resp, _ := co.Result(signedOK(co, w, id, key, payload)); !resp.Accepted {
+			t.Fatalf("%s: valid vote must be accepted", w)
+		}
+	}
+	st, _ := co.Status(id)
+	if st.State != StateFailed || st.Failed != 1 {
+		t.Fatalf("unresolvable disagreement must fail the cell: %+v", st)
+	}
+	res, _ := co.Results(id)
+	if len(res.Failures) != 1 || res.Failures[0].Kind != FailNoQuorum {
+		t.Fatalf("failure must be classified no-quorum: %+v", res.Failures)
+	}
+}
+
+// With a LocalRun tiebreaker, a split vote is settled by the coordinator's
+// own re-execution: the matching voter wins, the other is outvoted and
+// struck.
+func TestVerifyTiebreakLocalRun(t *testing.T) {
+	ran := make(chan string, 1)
+	co := newTestCoordinator(t, nil, CoordinatorConfig{
+		Verify: 2,
+		LocalRun: func(_ context.Context, spec JobSpec, _ func(uint64, uint64)) (json.RawMessage, error) {
+			ran <- spec.Key
+			return json.RawMessage(`{"v":1}`), nil
+		},
+	})
+	sub, _ := co.Submit(testSpec("tie", 1))
+	id, key := sub.ID, "tie/cell-00"
+
+	co.Lease("honest")
+	co.Result(signedOK(co, "honest", id, key, `{"v":1}`))
+	co.Lease("liar")
+	co.Result(signedOK(co, "liar", id, key, `{"v":999}`))
+
+	select {
+	case k := <-ran:
+		if k != key {
+			t.Fatalf("tiebreak ran wrong cell %q", k)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("tiebreak never ran")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, _ := co.Status(id)
+		if st.Done == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tiebreak never settled the cell: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	res, _ := co.Results(id)
+	if string(res.Results[key]) != `{"v":1}` {
+		t.Fatalf("tiebreak must pick the matching vote: %s", res.Results[key])
+	}
+	for _, w := range co.Fleet() {
+		switch w.Name {
+		case "honest":
+			if w.Done != 1 || w.Outvoted != 0 {
+				t.Fatalf("honest voter must be credited: %+v", w)
+			}
+		case "liar":
+			if w.Outvoted != 1 || w.Trust != "clamped" {
+				t.Fatalf("outvoted liar must be struck: %+v", w)
+			}
+		}
+	}
+}
+
+// The seeded spot-checker escalates a completed cell to a second,
+// confirming vote even with verification off.
+func TestSpotCheckEscalatesToSecondVote(t *testing.T) {
+	co := newTestCoordinator(t, nil, CoordinatorConfig{SpotCheckPPM: 1_000_000})
+	sub, _ := co.Submit(testSpec("spot", 1))
+	id, key := sub.ID, "spot/cell-00"
+
+	co.Lease("w1")
+	if resp, _ := co.Result(signedOK(co, "w1", id, key, `{"v":5}`)); !resp.Accepted {
+		t.Fatal("audited vote must still be accepted")
+	}
+	st, _ := co.Status(id)
+	if st.Done != 0 || st.SpotChecks != 1 || st.Queued != 1 {
+		t.Fatalf("spot check must re-queue the cell for a confirming vote: %+v", st)
+	}
+	co.Lease("w2")
+	co.Result(signedOK(co, "w2", id, key, `{"v":5}`))
+	st, _ = co.Status(id)
+	if st.Done != 1 || st.State != StateComplete {
+		t.Fatalf("confirming vote must complete the audit: %+v", st)
+	}
+}
+
+// Admission control sheds load over the configured limits with a typed
+// OverloadError, but never sheds an idempotent re-submit (attach).
+func TestAdmissionLimits(t *testing.T) {
+	co := newTestCoordinator(t, nil, CoordinatorConfig{MaxQueuedCells: 4})
+	if _, err := co.Submit(testSpec("a", 3)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := co.Submit(testSpec("b", 3))
+	var over *OverloadError
+	if !errors.As(err, &over) || over.RetryAfter <= 0 {
+		t.Fatalf("over-limit submit must shed with OverloadError: %v", err)
+	}
+	if r, err := co.Submit(testSpec("a", 3)); err != nil || !r.Attached {
+		t.Fatalf("attach must never be shed: %+v %v", r, err)
+	}
+	if _, err := co.Submit(testSpec("c", 1)); err != nil {
+		t.Fatalf("a submit within the limit must be admitted: %v", err)
+	}
+
+	// Per-tenant campaign cap, keyed by campaign name; finishing a campaign
+	// frees the slot.
+	co2 := newTestCoordinator(t, nil, CoordinatorConfig{MaxCampaignsPerTenant: 1})
+	sub, _ := co2.Submit(testSpec("tenant", 1))
+	spec2 := testSpec("tenant", 1)
+	spec2.Fingerprint = "fp2"
+	if _, err := co2.Submit(spec2); !errors.As(err, &over) {
+		t.Fatalf("second campaign for one tenant must shed: %v", err)
+	}
+	if _, err := co2.Submit(testSpec("other", 1)); err != nil {
+		t.Fatalf("a different tenant must be admitted: %v", err)
+	}
+	co2.Lease("w")
+	co2.Result(signedOK(co2, "w", sub.ID, "tenant/cell-00", `1`))
+	if _, err := co2.Submit(spec2); err != nil {
+		t.Fatalf("finished campaign must free the tenant slot: %v", err)
+	}
+}
+
+// The HTTP layer maps shedding to 429 + Retry-After, and the client
+// surfaces it as an OverloadError after honoring the backoff.
+func TestServerSheds429WithRetryAfter(t *testing.T) {
+	_, srv := startServer(t, CoordinatorConfig{MaxQueuedCells: 1, LeaseTTL: 2 * time.Second},
+		ServerConfig{Token: "t"})
+
+	body, _ := json.Marshal(testSpec("shed", 2))
+	req, _ := http.NewRequest(http.MethodPost, srv.URL()+PathCampaigns, strings.NewReader(string(body)))
+	req.Header.Set("Authorization", "Bearer t")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit submit: got %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 must carry Retry-After")
+	}
+
+	// The client retries on the advertised interval; with a short ctx it
+	// gives up and returns the typed error.
+	cl := NewClient(srv.URL(), "t")
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_, err = cl.Submit(ctx, testSpec("shed", 2))
+	var over *OverloadError
+	if !errors.As(err, &over) {
+		t.Fatalf("client must surface shedding as OverloadError, got %v", err)
+	}
+}
+
+// Oversized request bodies are cut off with 413, not buffered.
+func TestServerRejectsOversizedBody(t *testing.T) {
+	_, srv := startServer(t, CoordinatorConfig{}, ServerConfig{MaxBody: 1024})
+	big := `{"name":"big","jobs":[` + strings.Repeat(`{"key":"k"},`, 200) + `{"key":"z"}]}`
+	resp, err := http.Post(srv.URL()+PathCampaigns, "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: got %d, want 413", resp.StatusCode)
+	}
+}
+
+// A journaled result whose payload was corrupted at rest fails attestation
+// re-verification on reload and its cell re-runs; a pre-attestation record
+// (no digest) is tolerated for compatibility.
+func TestReloadReverifiesJournaledDigests(t *testing.T) {
+	dir := t.TempDir()
+	build := func() string {
+		co := newTestCoordinator(t, nil, CoordinatorConfig{JournalDir: dir})
+		sub, _ := co.Submit(testSpec("rest", 1))
+		co.Lease("w1")
+		co.Result(signedOK(co, "w1", sub.ID, "rest/cell-00", `{"v":2}`))
+		co.Close()
+		return sub.ID
+	}
+	id := build()
+	path := filepath.Join(dir, id+".journal")
+	journal, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean reload resumes the cell as done.
+	co := newTestCoordinator(t, nil, CoordinatorConfig{JournalDir: dir})
+	if st, _ := co.Status(id); st.Done != 1 {
+		t.Fatalf("clean reload must resume: %+v", st)
+	}
+	co.Close()
+
+	// Tamper with the journaled payload (digest left in place): the record
+	// no longer verifies and the cell re-runs.
+	tampered := strings.Replace(string(journal), `{"v":2}`, `{"v":9}`, 1)
+	if tampered == string(journal) {
+		t.Fatal("test bug: payload not found in journal")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	co = newTestCoordinator(t, nil, CoordinatorConfig{JournalDir: dir})
+	if st, _ := co.Status(id); st.Done != 0 || st.Queued != 1 {
+		t.Fatalf("tampered record must re-run its cell: %+v", st)
+	}
+	co.Close()
+
+	// Strip the digest entirely (a journal written before attestation):
+	// tolerated, the record resumes.
+	var rec struct {
+		Digest string `json:"digest"`
+	}
+	line := tampered[strings.LastIndex(strings.TrimSpace(tampered), "\n")+1:]
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatal(err)
+	}
+	legacy := strings.Replace(string(journal), `,"digest":"`+rec.Digest+`"`, "", 1)
+	if legacy == string(journal) {
+		t.Fatal("test bug: digest field not found in journal")
+	}
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	co = newTestCoordinator(t, nil, CoordinatorConfig{JournalDir: dir})
+	if st, _ := co.Status(id); st.Done != 1 {
+		t.Fatalf("digest-less legacy record must be tolerated: %+v", st)
+	}
+	co.Close()
+}
+
+// The headline end-to-end proof: a fleet with one always-corrupting
+// byzantine worker, talking through a seeded lossy network, still produces
+// a byte-identical campaign report; the byzantine worker ends quarantined
+// (visible in the fleet view and metrics) and no corrupted result ever
+// reaches the journal.
+func TestByzantineFleetUnderChaosByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins real workers")
+	}
+	spec := func(name string) CampaignSpec {
+		s := CampaignSpec{Name: name, Fingerprint: "insts=3000 seed=1"}
+		for i := 0; i < 10; i++ {
+			s.Jobs = append(s.Jobs, JobSpec{
+				Key:   fmt.Sprintf("byz/bench-%02d/mtvp4", i),
+				Bench: fmt.Sprintf("bench-%02d", i), Preset: "mtvp4", Seed: uint64(i),
+			})
+		}
+		return s
+	}
+
+	// Baseline: a clean solo run.
+	_, srvClean := startServer(t, CoordinatorConfig{LeaseTTL: time.Second, Retries: 8},
+		ServerConfig{Token: "t", ExpireEvery: 20 * time.Millisecond})
+	startWorker(t, srvClean.URL(), "t", "clean", 1, detRun)
+	resClean, blobClean := runCampaign(t, srvClean.URL(), "t", spec("byz-run"))
+	if resClean.State != StateComplete {
+		t.Fatalf("clean run must complete: %+v", resClean)
+	}
+
+	// Hostile: journaled coordinator, lossy network, one tampering agent.
+	reg := telemetry.NewRegistry()
+	dir := t.TempDir()
+	co, srv := startServer(t,
+		CoordinatorConfig{LeaseTTL: time.Second, Retries: 8, Registry: reg, JournalDir: dir},
+		ServerConfig{Token: "t", ExpireEvery: 20 * time.Millisecond})
+
+	lossy, _ := chaos.ByName("lossy")
+	proxy, err := chaos.NewProxy("127.0.0.1:0", srv.URL(), lossy, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	// Two honest workers and a byzantine one, all through the lossy wire.
+	// The byzantine agent mangles every payload after attesting it — the
+	// exact fault the digest check exists to catch.
+	for i := 0; i < 2; i++ {
+		startWorker(t, proxy.URL(), "t", fmt.Sprintf("honest-%d", i), 1, detRun)
+	}
+	byzCtx, byzCancel := context.WithCancel(context.Background())
+	defer byzCancel()
+	byzDone := make(chan struct{})
+	go func() {
+		defer close(byzDone)
+		RunWorker(byzCtx, WorkerConfig{
+			Coordinator: proxy.URL(), Token: "t", Name: "byzantine", Slots: 1,
+			Poll: 10 * time.Millisecond, Run: detRun,
+			Tamper: func(json.RawMessage) json.RawMessage { return json.RawMessage(`{"EVIL":true}`) },
+		})
+	}()
+	defer func() {
+		byzCancel()
+		select {
+		case <-byzDone:
+		case <-time.After(5 * time.Second):
+			t.Error("byzantine worker failed to drain")
+		}
+	}()
+
+	res, blob := runCampaign(t, srv.URL(), "t", spec("byz-run"))
+	if res.State != StateComplete {
+		t.Fatalf("hostile run must still complete: %+v", res)
+	}
+	if string(blob) != string(blobClean) {
+		t.Errorf("byzantine+chaos report differs from clean report:\n%s\nvs\n%s", blob, blobClean)
+	}
+
+	// The byzantine worker ends quarantined, visibly.
+	var byz *WorkerStatus
+	for _, w := range co.Fleet() {
+		if w.Name == "byzantine" {
+			w := w
+			byz = &w
+		}
+	}
+	if byz == nil || byz.Trust != "disabled" || byz.Corrupt < 2 {
+		t.Fatalf("byzantine worker must end quarantined: %+v", byz)
+	}
+	st, _ := co.Status(CampaignID(spec("byz-run")))
+	if st.Corrupt < 2 {
+		t.Fatalf("campaign must count the corrupt results: %+v", st)
+	}
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	for _, want := range []string{
+		"mtvp_fabric_workers_quarantined 1",
+		`mtvp_fleet_trust{worker="byzantine"} 2`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Not one corrupted payload reached the journal.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(string(data), "EVIL") {
+			t.Fatalf("corrupted payload leaked into journal %s", e.Name())
+		}
+	}
+}
+
+// Under -verify 2 a worker that LIES consistently — valid attestation over
+// a wrong result, the fault attestation alone cannot catch — is outvoted
+// by the honest majority and loses trust; the report stays byte-identical
+// to a clean run.
+func TestLyingWorkerOutvotedUnderVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins real workers")
+	}
+	spec := func(name string) CampaignSpec {
+		s := CampaignSpec{Name: name, Fingerprint: "insts=3000 seed=1"}
+		for i := 0; i < 6; i++ {
+			s.Jobs = append(s.Jobs, JobSpec{
+				Key:   fmt.Sprintf("lie/bench-%02d/mtvp4", i),
+				Bench: fmt.Sprintf("bench-%02d", i), Preset: "mtvp4", Seed: uint64(i),
+			})
+		}
+		return s
+	}
+
+	_, srvClean := startServer(t, CoordinatorConfig{LeaseTTL: time.Second, Retries: 8},
+		ServerConfig{Token: "t", ExpireEvery: 20 * time.Millisecond})
+	startWorker(t, srvClean.URL(), "t", "clean", 1, detRun)
+	_, blobClean := runCampaign(t, srvClean.URL(), "t", spec("lie-run"))
+
+	co, srv := startServer(t,
+		CoordinatorConfig{LeaseTTL: time.Second, Retries: 8, Verify: 2},
+		ServerConfig{Token: "t", ExpireEvery: 20 * time.Millisecond})
+	for i := 0; i < 2; i++ {
+		startWorker(t, srv.URL(), "t", fmt.Sprintf("honest-%d", i), 1, detRun)
+	}
+	lie := func(ctx context.Context, spec JobSpec, progress func(uint64, uint64)) (json.RawMessage, error) {
+		progress(1, 1)
+		return json.RawMessage(fmt.Sprintf(`{"key":%q,"ipc":"LIE"}`, spec.Key)), nil
+	}
+	startWorker(t, srv.URL(), "t", "liar", 1, lie)
+
+	res, blob := runCampaign(t, srv.URL(), "t", spec("lie-run"))
+	if res.State != StateComplete {
+		t.Fatalf("verified run must complete: %+v", res)
+	}
+	if string(blob) != string(blobClean) {
+		t.Errorf("lying worker corrupted the verified report:\n%s\nvs\n%s", blob, blobClean)
+	}
+	for _, w := range co.Fleet() {
+		if w.Name == "liar" && (w.Outvoted < 1 || w.Trust == "healthy") {
+			t.Errorf("consistently-outvoted liar must lose trust: %+v", w)
+		}
+	}
+}

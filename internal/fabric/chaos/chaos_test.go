@@ -1,0 +1,215 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoServer replies to every request with a fixed body.
+func echoServer(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		fmt.Fprint(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// drive issues n sequential GETs through tr and returns the fault schedule
+// the OnFault hook observed.
+func drive(t *testing.T, tr *Transport, url string, n int) []Event {
+	t.Helper()
+	var events []Event
+	tr.OnFault = func(ev Event) { events = append(events, ev) }
+	tr.Sleep = func(time.Duration) {} // schedules matter, wall time does not
+	hc := &http.Client{Transport: tr}
+	for i := 0; i < n; i++ {
+		resp, err := hc.Get(url + fmt.Sprintf("/route-%d", i%3))
+		if err != nil {
+			continue // drops surface as transport errors; that IS the fault
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	return events
+}
+
+// The determinism contract: the same seed and profile against the same
+// request sequence produce the identical injected fault schedule — same
+// faults, same kinds, same sequence numbers, same routes.
+func TestSameSeedSameSchedule(t *testing.T) {
+	srv := echoServer(t, `{"payload":"0123456789abcdef"}`)
+	prof := Profile{
+		Name: "det", Reorder: 100_000, Drop: 150_000, Delay: 200_000,
+		Duplicate: 100_000, Truncate: 100_000, Corrupt: 100_000,
+	}
+	run := func(seed uint64) []Event {
+		return drive(t, New(prof, seed), srv.URL, 60)
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 {
+		t.Fatal("hot profile over 60 requests must inject at least one fault")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed must yield the identical schedule:\n%v\nvs\n%v", a, b)
+	}
+	if c := run(43); reflect.DeepEqual(a, c) {
+		t.Fatal("a different seed should yield a different schedule")
+	}
+}
+
+// Whether a fault fires must not shift the stream for later requests: the
+// schedule is positional, so disarming one kind leaves the remaining
+// kinds' decisions unchanged.
+func TestDisarmedKindConsumesNoRandomness(t *testing.T) {
+	srv := echoServer(t, "x")
+	armed := Profile{Drop: 200_000, Corrupt: 300_000}
+	dropOnly := Profile{Drop: 200_000}
+
+	pick := func(events []Event, k Kind) []Event {
+		var out []Event
+		for _, ev := range events {
+			if ev.Kind == k {
+				out = append(out, ev)
+			}
+		}
+		return out
+	}
+	a := pick(drive(t, New(armed, 7), srv.URL, 80), KindDrop)
+	b := pick(drive(t, New(dropOnly, 7), srv.URL, 80), KindDrop)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("drop schedule must not depend on other kinds being armed:\n%v\nvs\n%v", a, b)
+	}
+}
+
+// Payload-damage faults actually damage payloads.
+func TestTruncateAndCorruptDamageBodies(t *testing.T) {
+	const body = `{"v":"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"}`
+	srv := echoServer(t, body)
+
+	always := uint32(1_000_000)
+	get := func(tr *Transport) string {
+		hc := &http.Client{Transport: tr}
+		resp, err := hc.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+
+	if got := get(New(Profile{Truncate: always}, 1)); len(got) >= len(body) {
+		t.Fatalf("truncate must shorten the body, got %d bytes", len(got))
+	}
+	got := get(New(Profile{Corrupt: always}, 1))
+	if len(got) != len(body) || got == body {
+		t.Fatalf("corrupt must flip a bit in place, got %q", got)
+	}
+	diff := 0
+	for i := range body {
+		if got[i] != body[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corrupt must damage exactly one byte, damaged %d", diff)
+	}
+
+	tr := New(Profile{Drop: always}, 1)
+	if _, err := (&http.Client{Transport: tr}).Get(srv.URL); err == nil {
+		t.Fatal("drop must surface as a transport error")
+	}
+	if tr.Counts()["drop"] != 1 {
+		t.Fatalf("drop must be counted: %v", tr.Counts())
+	}
+}
+
+// Per-route overrides scope faults to matching path prefixes.
+func TestPerRouteOverride(t *testing.T) {
+	srv := echoServer(t, "ok")
+	prof := Profile{
+		PerRoute: map[string]Profile{"/api/v1/result": {Drop: 1_000_000}},
+	}
+	tr := New(prof, 3)
+	hc := &http.Client{Transport: tr}
+	if _, err := hc.Get(srv.URL + "/api/v1/lease"); err != nil {
+		t.Fatalf("unmatched route must pass untouched: %v", err)
+	}
+	if _, err := hc.Get(srv.URL + "/api/v1/result"); err == nil {
+		t.Fatal("matched route must drop")
+	}
+}
+
+// Duplicate delivers the request body twice; both deliveries reach the
+// server intact.
+func TestDuplicateDeliversTwice(t *testing.T) {
+	var bodies []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		bodies = append(bodies, string(b))
+		fmt.Fprint(w, "ok")
+	}))
+	defer srv.Close()
+
+	tr := New(Profile{Duplicate: 1_000_000}, 5)
+	hc := &http.Client{Transport: tr}
+	resp, err := hc.Post(srv.URL, "text/plain", strings.NewReader("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(bodies) != 2 || bodies[0] != "payload" || bodies[1] != "payload" {
+		t.Fatalf("duplicate must deliver the body twice, got %q", bodies)
+	}
+}
+
+// The proxy forwards faithfully with a zero profile and injects with a hot
+// one — the between-real-processes deployment shape.
+func TestProxyForwardsAndInjects(t *testing.T) {
+	srv := echoServer(t, `{"ok":true}`)
+
+	clean, err := NewProxy(":0", srv.URL, Profile{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clean.Close()
+	resp, err := http.Get(clean.URL() + "/anything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(b) != `{"ok":true}` {
+		t.Fatalf("clean proxy must forward verbatim, got %q", b)
+	}
+
+	lossy, err := NewProxy(":0", srv.URL, Profile{Drop: 1_000_000}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lossy.Close()
+	resp, err = http.Get(lossy.URL() + "/anything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("dropped forward must surface as 502, got %d", resp.StatusCode)
+	}
+}
+
+// FormatCounts is stable and sorted.
+func TestFormatCounts(t *testing.T) {
+	got := FormatCounts(map[string]uint64{"drop": 7, "corrupt": 3})
+	if got != "corrupt=3 drop=7" {
+		t.Fatalf("FormatCounts = %q", got)
+	}
+}

@@ -1,0 +1,79 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Proxy is a listening reverse proxy that forwards everything to a target
+// through a fault-injecting Transport: the way to put a hostile network
+// between real processes. A worker pointed at the proxy's URL instead of
+// the coordinator's experiences the profile's drops, delays, duplicates,
+// and payload damage on every round trip, while the coordinator stays
+// untouched.
+type Proxy struct {
+	// T is the underlying chaos transport (for Counts and OnFault).
+	T      *Transport
+	target string
+	ln     net.Listener
+	srv    *http.Server
+}
+
+// NewProxy starts a proxy on addr (":0" picks a free port) forwarding to
+// target ("http://host:port") through prof's faults seeded with seed.
+func NewProxy(addr, target string, prof Profile, seed uint64) (*Proxy, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: listen %s: %w", addr, err)
+	}
+	p := &Proxy{T: New(prof, seed), target: target, ln: ln}
+	hc := &http.Client{Transport: p.T, Timeout: 2 * time.Minute}
+	p.srv = &http.Server{
+		Handler:           http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { p.forward(hc, w, r) }),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go p.srv.Serve(ln)
+	return p, nil
+}
+
+// forward replays one request against the target through the chaos
+// transport. An injected drop (or a real transport error) surfaces as 502,
+// which clients treat as any other network failure.
+func (p *Proxy) forward(hc *http.Client, w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, p.target+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	// GetBody lets the chaos transport duplicate the request faithfully.
+	req.GetBody = func() (io.ReadCloser, error) { return io.NopCloser(bytes.NewReader(body)), nil }
+	resp, err := hc.Do(req)
+	if err != nil {
+		http.Error(w, "chaos proxy: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// URL is the proxy's base URL — hand it to workers as their coordinator.
+func (p *Proxy) URL() string { return "http://" + p.ln.Addr().String() }
+
+// Close stops the proxy listener.
+func (p *Proxy) Close() error { return p.srv.Close() }

@@ -4,10 +4,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
+
+	"mtvp/internal/fault"
 )
 
 // Client is the campaign-submission side of the fabric protocol: submit a
@@ -16,8 +20,12 @@ type Client struct {
 	base  string
 	token string
 	hc    *http.Client
-	// Poll is the status-poll period used by Wait (0 selects 500ms).
+	// Poll is the status-poll period used by Wait (0 selects 500ms). Actual
+	// sleeps are jittered ±50% from a seeded stream so many clients polling
+	// one coordinator spread out instead of beating in sync.
 	Poll time.Duration
+	// JitterSeed seeds the poll-jitter stream (0 selects a fixed default).
+	JitterSeed uint64
 }
 
 // NewClient builds a client for the coordinator at base (e.g.
@@ -57,6 +65,17 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	switch {
 	case resp.StatusCode == http.StatusNoContent:
 		return errNoContent
+	case resp.StatusCode == http.StatusTooManyRequests:
+		// Admission-control shedding: surface the server's Retry-After as a
+		// typed error so callers back off for the advertised interval.
+		retry := 1 * time.Second
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+				retry = time.Duration(secs) * time.Second
+			}
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return &OverloadError{Reason: string(bytes.TrimSpace(msg)), RetryAfter: retry}
 	case resp.StatusCode >= 300:
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
 		return fmt.Errorf("fabric: %s %s: %s: %s", method, path, resp.Status, bytes.TrimSpace(msg))
@@ -67,11 +86,27 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// Submit registers a campaign and returns its (deterministic) ID.
+// Submit registers a campaign and returns its (deterministic) ID. A
+// submission shed by admission control (429) is retried after the
+// coordinator's advertised Retry-After until ctx ends, at which point the
+// *OverloadError is returned.
 func (c *Client) Submit(ctx context.Context, spec CampaignSpec) (SubmitResponse, error) {
-	var resp SubmitResponse
-	err := c.do(ctx, http.MethodPost, PathCampaigns, spec, &resp)
-	return resp, err
+	dice := fault.NewDice(c.JitterSeed)
+	for {
+		var resp SubmitResponse
+		err := c.do(ctx, http.MethodPost, PathCampaigns, spec, &resp)
+		var over *OverloadError
+		if !errors.As(err, &over) {
+			return resp, err
+		}
+		t := time.NewTimer(jitter(dice, over.RetryAfter))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return SubmitResponse{}, over
+		case <-t.C:
+		}
+	}
 }
 
 // Status fetches one campaign's live counters.
@@ -109,8 +144,7 @@ func (c *Client) Wait(ctx context.Context, id string, onStatus func(CampaignStat
 	if poll <= 0 {
 		poll = 500 * time.Millisecond
 	}
-	t := time.NewTicker(poll)
-	defer t.Stop()
+	dice := fault.NewDice(c.JitterSeed)
 	for {
 		st, err := c.Status(ctx, id)
 		if err == nil {
@@ -123,8 +157,10 @@ func (c *Client) Wait(ctx context.Context, id string, onStatus func(CampaignStat
 		} else if ctx.Err() != nil {
 			return CampaignResults{}, ctx.Err()
 		}
+		t := time.NewTimer(jitter(dice, poll))
 		select {
 		case <-ctx.Done():
+			t.Stop()
 			return CampaignResults{}, ctx.Err()
 		case <-t.C:
 		}

@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -36,11 +37,42 @@ type CoordinatorConfig struct {
 	// re-running completed cells.
 	JournalDir string
 	// PruneAfter retires a worker from the fleet view after this much
-	// silence with no leases held (0 selects 10×LeaseTTL).
+	// silence with no leases held (0 selects 10×LeaseTTL). Workers under
+	// trust quarantine are never pruned — their record is the point.
 	PruneAfter time.Duration
+
+	// Verify is the byzantine-defense redundancy factor k: each cell is
+	// leased to k distinct workers and accepted only when a majority of the
+	// k attestation digests agree (<2 disables redundancy; a single honest
+	// digest then suffices). Workers whose digest loses a quorum are struck
+	// toward fleet quarantine.
+	Verify int
+	// SpotCheckPPM re-leases a completed cell to a second worker for a
+	// confirming vote at this parts-per-million rate even when Verify is
+	// off — a random audit of a fleet that is normally trusted. Rolls come
+	// from a seeded splitmix64 stream (fault.Dice), so a spot-check
+	// schedule is reproducible from SpotCheckSeed.
+	SpotCheckPPM uint32
+	// SpotCheckSeed seeds the spot-check dice (0 selects a fixed default).
+	SpotCheckSeed uint64
+	// LocalRun, when non-nil, is the coordinator-local tiebreaker: when all
+	// k verification votes are in and no digest has a majority, the
+	// coordinator re-executes the cell itself and its digest decides the
+	// quorum. Without it, disagreement widens the electorate (one more
+	// worker per round, paced by the cell's retry budget).
+	LocalRun RunFunc
+
+	// MaxQueuedCells caps the total number of cells waiting for a lease
+	// across all campaigns (0 = unlimited). A submit that would exceed it
+	// is shed with an OverloadError (HTTP 429 + Retry-After).
+	MaxQueuedCells int
+	// MaxCampaignsPerTenant caps concurrently running campaigns sharing one
+	// campaign name — the fabric's tenant key (0 = unlimited).
+	MaxCampaignsPerTenant int
+
 	// Registry, when non-nil, exports the live fleet view: aggregate
 	// counters plus per-worker labeled gauges (leases held, heartbeat age,
-	// jobs done/failed, cycle rate).
+	// jobs done/failed, cycle rate, trust level, corrupt results).
 	Registry *telemetry.Registry
 	// Logf, when non-nil, receives coordinator progress lines.
 	Logf func(format string, args ...any)
@@ -69,30 +101,106 @@ func (c CoordinatorConfig) pruneAfter() time.Duration {
 	return 10 * c.leaseTTL()
 }
 
-// jobState is one cell's position in the lease lifecycle.
+func (c CoordinatorConfig) verifyK() int {
+	if c.Verify < 2 {
+		return 1
+	}
+	return c.Verify
+}
+
+// fleetTuning is the fleet-level adaptation of the pipeline's misprediction
+// quarantine: one attested-corrupt result (WrongCost == ClampAt) clamps a
+// worker to suspect, a second disables it outright. Suspects rehabilitate
+// through corroborated results (CorrectCredit each); a disabled worker only
+// recovers through passive decay, one point per DecayEvery expiry scans.
+var fleetTuning = fault.QuarantineTuning{
+	WrongCost: 32, CorrectCredit: 2,
+	ClampAt: 32, DisableAt: 64, ScoreMax: 96,
+	DecayEvery: 16,
+}
+
+// OverloadError is admission-control shedding: the coordinator refused new
+// load and the caller should retry no sooner than RetryAfter. The HTTP
+// layer maps it to 429 + Retry-After.
+type OverloadError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("fabric: overloaded: %s (retry after %s)", e.Reason, e.RetryAfter)
+}
+
+// Fault kinds the coordinator classifies cells with, beyond the harness's
+// own set.
+const (
+	// FailLostWorker classifies a cell whose lease expired because its
+	// worker stopped heartbeating — the fabric's worker-loss fault class.
+	FailLostWorker harness.FailKind = "lost-worker"
+	// FailNoQuorum classifies a cell whose verification votes never
+	// reached a majority before its retry budget ran out — a byzantine
+	// disagreement the fleet could not resolve.
+	FailNoQuorum harness.FailKind = "no-quorum"
+	// FailTiebreak classifies a cell whose coordinator-local tiebreak
+	// re-execution itself failed.
+	FailTiebreak harness.FailKind = "tiebreak-error"
+)
+
+// jobState is one cell's position in the lease/vote lifecycle.
 type jobState int
 
 const (
-	jobQueued jobState = iota
-	jobLeased
+	// jobPending: queued for (more) leases and/or collecting attestation
+	// votes. With Verify off this is the classic queued-or-leased state.
+	jobPending jobState = iota
+	// jobTiebreak: all votes in, no majority; a coordinator-local
+	// re-execution is in flight and will decide the quorum.
+	jobTiebreak
 	jobDone
 	jobFailed
 )
 
-// job is one cell's coordinator-side state.
-type job struct {
-	spec     JobSpec
-	state    jobState
-	worker   string    // lease holder while leased
-	expiry   time.Time // lease deadline while leased
-	attempts int
-	budget   *fault.Backoff // requeue budget (worker loss, reported failures)
-	result   json.RawMessage
-	failure  *harness.JobFailure
+// leaseInfo is one active lease granted to one worker.
+type leaseInfo struct {
+	expiry     time.Time
+	lastCycles uint64    // last heartbeat's cycle count (rate derivation)
+	lastBeatAt time.Time // last heartbeat wall time
+	everBeaten bool
+}
 
-	lastCycles  uint64    // last heartbeat's cycle count (rate derivation)
-	lastBeatAt  time.Time // last heartbeat wall time
-	everBeaten  bool
+// vote is one worker's attested result for a cell.
+type vote struct {
+	worker string
+	digest string
+	result json.RawMessage
+}
+
+// job is one cell's coordinator-side state. A cell may hold several leases
+// at once under -verify k; votes accumulate until one digest reaches a
+// majority of needVotes.
+type job struct {
+	spec      JobSpec
+	state     jobState
+	leases    map[string]*leaseInfo
+	queued    bool // currently listed in the campaign queue
+	attempts  int
+	budget    *fault.Backoff // requeue budget (worker loss, failures, quorum widening)
+	needVotes int            // distinct attestations wanted (1 = trust the first)
+	votes     []vote
+	spotRolled bool // the spot-check dice has been consumed for this cell
+	result    json.RawMessage
+	digest    string
+	failure   *harness.JobFailure
+}
+
+// voted reports whether worker already cast a vote for this cell.
+func (j *job) voted(worker string) bool {
+	for _, v := range j.votes {
+		if v.worker == worker {
+			return true
+		}
+	}
+	return false
 }
 
 // campaign is one tenant's batch of cells.
@@ -102,12 +210,14 @@ type campaign struct {
 	fingerprint string
 	jobs        map[string]*job
 	order       []string // submission order = report order
-	queue       []string // runnable cells, FIFO; requeues go to the back
+	queue       []string // cells wanting a lease, FIFO; requeues go to the back
 	jnl         *harness.Journal
 	cancelled   bool
 	done        int
 	failed      int
 	requeues    int
+	corrupt     int
+	spotChecks  int
 }
 
 func (c *campaign) state() CampaignState {
@@ -131,7 +241,16 @@ type workerInfo struct {
 	done      uint64
 	failed    uint64
 	lost      uint64
+	corrupt   uint64 // attestation-digest rejections
+	outvoted  uint64 // verification quorums lost
 	cycleRate float64 // EWMA cycles/sec
+
+	// quar is the fleet-level trust state machine (fault.Quarantine with
+	// fleetTuning): healthy → clamped (results need corroboration) →
+	// disabled (no leases, results rejected).
+	quar *fault.Quarantine
+
+	corruptCtr *telemetry.Counter // labeled per-worker corrupt counter
 }
 
 // Coordinator owns the multi-tenant lease state machine. All methods are
@@ -145,6 +264,7 @@ type Coordinator struct {
 	order     []string // campaign submission order (fair-share rotation)
 	rr        int      // round-robin cursor into order
 	workers   map[string]*workerInfo
+	spot      *fault.Dice // seeded spot-check roller
 
 	metrics *fleetMetrics
 }
@@ -159,20 +279,28 @@ type fleetMetrics struct {
 	resultsOK     *telemetry.Counter
 	resultsFailed *telemetry.Counter
 	dedups        *telemetry.Counter
+	corrupt       *telemetry.Counter
+	quarantines   *telemetry.Counter
+	spotChecks    *telemetry.Counter
+	tiebreaks     *telemetry.Counter
+	sheds         *telemetry.Counter
 	campaignsLive *telemetry.Gauge
 	jobsQueued    *telemetry.Gauge
 	jobsLeased    *telemetry.Gauge
+	quarantined   *telemetry.Gauge
 }
 
 // NewCoordinator builds a coordinator and, when JournalDir is set, reloads
 // every persisted campaign from it (completed cells keep their journaled
-// results; queued and previously-leased cells are requeued; failed cells
-// re-run with a fresh budget, mirroring local journal-resume semantics).
+// results after their attestation digests re-verify; queued and
+// previously-leased cells are requeued; failed cells re-run with a fresh
+// budget, mirroring local journal-resume semantics).
 func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	co := &Coordinator{
 		cfg:       cfg,
 		campaigns: map[string]*campaign{},
 		workers:   map[string]*workerInfo{},
+		spot:      fault.NewDice(cfg.SpotCheckSeed),
 	}
 	if reg := cfg.Registry; reg != nil {
 		co.metrics = &fleetMetrics{
@@ -184,9 +312,15 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 			resultsOK:     reg.Counter("mtvp_fabric_results_ok_total", "successful cell results accepted"),
 			resultsFailed: reg.Counter("mtvp_fabric_results_failed_total", "failed cell results reported"),
 			dedups:        reg.Counter("mtvp_fabric_result_dedups_total", "double-completions deduped on job key"),
+			corrupt:       reg.Counter("mtvp_fabric_results_corrupt_total", "results rejected for a missing or mismatching attestation digest"),
+			quarantines:   reg.Counter("mtvp_fabric_quarantines_total", "workers disabled by the fleet trust quarantine"),
+			spotChecks:    reg.Counter("mtvp_fabric_spot_checks_total", "cells escalated to redundant verification by the seeded spot-checker"),
+			tiebreaks:     reg.Counter("mtvp_fabric_tiebreaks_total", "coordinator-local re-executions resolving vote disagreements"),
+			sheds:         reg.Counter("mtvp_fabric_submits_shed_total", "campaign submissions shed by admission control (429)"),
 			campaignsLive: reg.Gauge("mtvp_fabric_campaigns_running", "campaigns currently running"),
 			jobsQueued:    reg.Gauge("mtvp_fabric_jobs_queued", "cells waiting for a lease across all campaigns"),
-			jobsLeased:    reg.Gauge("mtvp_fabric_jobs_leased", "cells currently leased across all campaigns"),
+			jobsLeased:    reg.Gauge("mtvp_fabric_jobs_leased", "cell leases currently active across all campaigns"),
+			quarantined:   reg.Gauge("mtvp_fabric_workers_quarantined", "workers currently disabled by the fleet trust quarantine"),
 		}
 	}
 	if cfg.JournalDir != "" {
@@ -227,7 +361,8 @@ func CampaignID(spec CampaignSpec) string {
 
 // Submit registers a campaign (idempotently: a spec with a known identity
 // attaches to the existing campaign) and persists it when a journal
-// directory is configured.
+// directory is configured. Load beyond the admission limits is shed with
+// an *OverloadError.
 func (co *Coordinator) Submit(spec CampaignSpec) (SubmitResponse, error) {
 	if spec.Name == "" || len(spec.Jobs) == 0 {
 		return SubmitResponse{}, fmt.Errorf("fabric: campaign needs a name and at least one job")
@@ -249,6 +384,14 @@ func (co *Coordinator) Submit(spec CampaignSpec) (SubmitResponse, error) {
 	if _, ok := co.campaigns[id]; ok {
 		return SubmitResponse{ID: id, Attached: true}, nil
 	}
+	// Admission control. An attach above never sheds — it adds no load.
+	if err := co.admitLocked(spec); err != nil {
+		if co.metrics != nil {
+			co.metrics.sheds.Inc()
+		}
+		co.logf("campaign %q shed by admission control: %v", spec.Name, err)
+		return SubmitResponse{}, err
+	}
 	c, err := co.installLocked(id, spec, nil)
 	if err != nil {
 		return SubmitResponse{}, err
@@ -267,6 +410,39 @@ func (co *Coordinator) Submit(spec CampaignSpec) (SubmitResponse, error) {
 	return SubmitResponse{ID: id}, nil
 }
 
+// admitLocked enforces the overload limits on a new (non-attaching) spec.
+func (co *Coordinator) admitLocked(spec CampaignSpec) error {
+	retry := co.cfg.leaseTTL()
+	if lim := co.cfg.MaxCampaignsPerTenant; lim > 0 {
+		n := 0
+		for _, id := range co.order {
+			c := co.campaigns[id]
+			if c.name == spec.Name && c.state() == StateRunning {
+				n++
+			}
+		}
+		if n >= lim {
+			return &OverloadError{
+				Reason:     fmt.Sprintf("tenant %q already has %d running campaign(s), limit %d", spec.Name, n, lim),
+				RetryAfter: retry,
+			}
+		}
+	}
+	if lim := co.cfg.MaxQueuedCells; lim > 0 {
+		queued := 0
+		for _, c := range co.campaigns {
+			queued += len(c.queue)
+		}
+		if queued+len(spec.Jobs) > lim {
+			return &OverloadError{
+				Reason:     fmt.Sprintf("%d cells queued + %d submitted exceeds the %d-cell admission limit", queued, len(spec.Jobs), lim),
+				RetryAfter: retry,
+			}
+		}
+	}
+	return nil
+}
+
 // installLocked builds the campaign state from a spec plus (on reload) the
 // journaled records, opens its journal, and queues the unfinished cells.
 func (co *Coordinator) installLocked(id string, spec CampaignSpec, prior map[string]*harness.Record) (*campaign, error) {
@@ -277,14 +453,22 @@ func (co *Coordinator) installLocked(id string, spec CampaignSpec, prior map[str
 		jobs:        map[string]*job{},
 	}
 	for _, s := range spec.Jobs {
-		j := &job{spec: s, budget: fault.NewBackoff(co.cfg.retries(), 64)}
-		if rec := prior[s.Key]; rec != nil && rec.Status == harness.StatusDone && len(rec.Result) > 0 {
+		j := &job{
+			spec:      s,
+			leases:    map[string]*leaseInfo{},
+			budget:    fault.NewBackoff(co.cfg.retries(), 64),
+			needVotes: co.cfg.verifyK(),
+		}
+		if rec := prior[s.Key]; rec != nil && rec.Status == harness.StatusDone && len(rec.Result) > 0 &&
+			co.reverifyLocked(id, s, rec) {
 			j.state = jobDone
 			j.attempts = rec.Attempts
 			j.result = append(json.RawMessage(nil), rec.Result...)
+			j.digest = rec.Digest
 			c.done++
 		} else {
 			c.queue = append(c.queue, s.Key)
+			j.queued = true
 		}
 		c.jobs[s.Key] = j
 		c.order = append(c.order, s.Key)
@@ -299,6 +483,21 @@ func (co *Coordinator) installLocked(id string, spec CampaignSpec, prior map[str
 	co.campaigns[id] = c
 	co.order = append(co.order, id)
 	return c, nil
+}
+
+// reverifyLocked re-checks a journaled record's attestation digest on
+// reload. Records without a digest (pre-attestation journals, local
+// campaigns) are accepted as-is; a record whose digest no longer matches
+// its payload was corrupted at rest and its cell re-runs.
+func (co *Coordinator) reverifyLocked(id string, spec JobSpec, rec *harness.Record) bool {
+	if rec.Digest == "" {
+		return true
+	}
+	if rec.Digest == ResultDigest(id, spec, rec.Result) {
+		return true
+	}
+	co.logf("campaign %s: journaled result for %s fails attestation re-verification; cell will re-run", id, spec.Key)
+	return false
 }
 
 func (co *Coordinator) specPath(id string) string {
@@ -366,8 +565,53 @@ func (co *Coordinator) reload() error {
 	return nil
 }
 
+// wantingLocked is how many more leases a cell should be granted: votes it
+// still needs, minus votes already cast by trusted workers, minus leases in
+// flight.
+func (co *Coordinator) wantingLocked(j *job) int {
+	if j.state != jobPending {
+		return 0
+	}
+	trusted := 0
+	for _, v := range j.votes {
+		if w := co.workers[v.worker]; w == nil || w.quar.State() != fault.QDisabled {
+			trusted++
+		}
+	}
+	return j.needVotes - trusted - len(j.leases)
+}
+
+// enqueueLocked lists a cell in its campaign queue if it wants more leases
+// and is not already listed.
+func (co *Coordinator) enqueueLocked(c *campaign, j *job, key string) {
+	if j.state == jobPending && !j.queued && co.wantingLocked(j) > 0 {
+		c.queue = append(c.queue, key)
+		j.queued = true
+	}
+}
+
+// dequeueLocked delists a cell from its campaign queue.
+func (co *Coordinator) dequeueLocked(c *campaign, j *job, key string) {
+	if j.queued {
+		c.queue = removeKey(c.queue, key)
+		j.queued = false
+	}
+}
+
+// removeKey drops the first occurrence of key from q in place.
+func removeKey(q []string, key string) []string {
+	for i, k := range q {
+		if k == key {
+			return append(q[:i], q[i+1:]...)
+		}
+	}
+	return q
+}
+
 // Lease grants the next cell to worker, fair-share round-robin across
-// running campaigns. ok is false when no work is queued.
+// running campaigns. ok is false when no work is queued for this worker —
+// including when the worker is trust-quarantined, which gets no work at
+// all. Under -verify k a cell is never leased twice to the same worker.
 func (co *Coordinator) Lease(worker string) (Lease, bool) {
 	if worker == "" {
 		return Lease{}, false
@@ -375,37 +619,32 @@ func (co *Coordinator) Lease(worker string) (Lease, bool) {
 	now := co.now()
 	co.mu.Lock()
 	defer co.mu.Unlock()
-	co.touchWorkerLocked(worker, now)
+	w := co.touchWorkerLocked(worker, now)
+	if w.quar.State() == fault.QDisabled {
+		return Lease{}, false
+	}
 	// Round-robin by campaign: start at the cursor, take the first
-	// campaign with queued work, advance the cursor past it.
+	// campaign with leasable work for THIS worker, advance the cursor past
+	// it.
 	for i := 0; i < len(co.order); i++ {
 		c := co.campaigns[co.order[(co.rr+i)%len(co.order)]]
 		if c.cancelled {
 			continue
 		}
-		var j *job
-		for len(c.queue) > 0 {
-			key := c.queue[0]
-			c.queue = c.queue[1:]
-			if cand := c.jobs[key]; cand.state == jobQueued {
-				j = cand
-				break
-			}
-			// Stale entry: the cell reached a terminal state (late success
-			// after requeue) while still listed. Never re-lease it.
-		}
+		j, key := co.pickLocked(c, worker)
 		if j == nil {
 			continue
 		}
 		co.rr = (co.rr + i + 1) % len(co.order)
-		j.state = jobLeased
-		j.worker = worker
-		j.expiry = now.Add(co.cfg.leaseTTL())
+		j.leases[worker] = &leaseInfo{
+			expiry:     now.Add(co.cfg.leaseTTL()),
+			lastBeatAt: now,
+		}
 		j.attempts++
-		j.lastCycles = 0
-		j.lastBeatAt = now
-		j.everBeaten = false
-		co.workers[worker].leases++
+		if co.wantingLocked(j) <= 0 {
+			co.dequeueLocked(c, j, key)
+		}
+		w.leases++
 		if co.metrics != nil {
 			co.metrics.leasesGranted.Inc()
 		}
@@ -420,49 +659,104 @@ func (co *Coordinator) Lease(worker string) (Lease, bool) {
 	return Lease{}, false
 }
 
+// pickLocked scans a campaign's queue for the first cell leasable by
+// worker, dropping stale entries as it goes. A cell the worker already
+// voted on or already holds a lease for is skipped but stays queued for
+// other workers; a cell that still wants further leases after this one is
+// rotated to the back of the queue.
+func (co *Coordinator) pickLocked(c *campaign, worker string) (*job, string) {
+	for idx := 0; idx < len(c.queue); {
+		key := c.queue[idx]
+		j := c.jobs[key]
+		if j.state != jobPending || co.wantingLocked(j) <= 0 {
+			// Stale entry: the cell reached a terminal state or collected
+			// its leases while still listed. Never re-lease it.
+			j.queued = false
+			c.queue = append(c.queue[:idx], c.queue[idx+1:]...)
+			continue
+		}
+		if j.voted(worker) || j.leases[worker] != nil {
+			idx++ // ineligible for this worker, fine for others
+			continue
+		}
+		if co.wantingLocked(j) > 1 {
+			// Still wants more after this grant: rotate to the back so
+			// sibling cells get their first lease ahead of its second.
+			c.queue = append(append(c.queue[:idx], c.queue[idx+1:]...), key)
+		}
+		return j, key
+	}
+	return nil, ""
+}
+
 // Heartbeat extends a lease and feeds the fleet view. ok is false when the
 // worker no longer owns the lease (expired and requeued, already completed
-// by someone else, campaign cancelled): the worker should abandon the cell.
+// by someone else, campaign cancelled, worker quarantined): the worker
+// should abandon the cell.
 func (co *Coordinator) Heartbeat(req HeartbeatRequest) bool {
 	now := co.now()
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	w := co.touchWorkerLocked(req.Worker, now)
+	if w == nil || w.quar.State() == fault.QDisabled {
+		return false
+	}
 	c := co.campaigns[req.Campaign]
 	if c == nil || c.cancelled {
 		return false
 	}
 	j := c.jobs[req.Key]
-	if j == nil || j.state != jobLeased || j.worker != req.Worker {
+	if j == nil || j.state != jobPending {
 		return false
 	}
-	j.expiry = now.Add(co.cfg.leaseTTL())
+	li := j.leases[req.Worker]
+	if li == nil {
+		return false
+	}
+	li.expiry = now.Add(co.cfg.leaseTTL())
 	// Cycle rate: EWMA over heartbeat deltas.
-	if dt := now.Sub(j.lastBeatAt).Seconds(); dt > 0 && j.everBeaten && req.Cycles >= j.lastCycles {
-		inst := float64(req.Cycles-j.lastCycles) / dt
+	if dt := now.Sub(li.lastBeatAt).Seconds(); dt > 0 && li.everBeaten && req.Cycles >= li.lastCycles {
+		inst := float64(req.Cycles-li.lastCycles) / dt
 		if w.cycleRate == 0 {
 			w.cycleRate = inst
 		} else {
 			w.cycleRate = 0.75*w.cycleRate + 0.25*inst
 		}
 	}
-	j.lastCycles = req.Cycles
-	j.lastBeatAt = now
-	j.everBeaten = true
+	li.lastCycles = req.Cycles
+	li.lastBeatAt = now
+	li.everBeaten = true
 	if co.metrics != nil {
 		co.metrics.heartbeats.Inc()
 	}
 	return true
 }
 
-// Result records a cell's terminal outcome. Successful results are deduped
-// idempotently on job key (first result wins, even from a worker whose
-// lease already expired); failures spend the cell's requeue budget.
+// dropLeaseLocked removes worker's lease on j (the job's next state is the
+// caller's business). It reports whether a lease was held.
+func (co *Coordinator) dropLeaseLocked(j *job, worker string) bool {
+	if j.leases[worker] == nil {
+		return false
+	}
+	delete(j.leases, worker)
+	if w := co.workers[worker]; w != nil && w.leases > 0 {
+		w.leases--
+	}
+	return true
+}
+
+// Result records a cell's terminal outcome. Successful results must carry
+// a valid attestation digest; they are then recorded as votes and the cell
+// completes once a digest reaches a majority of the cell's needed votes
+// (immediately, with verification off). Corrupt results are rejected
+// without reaching the journal and without charging the cell's retry
+// budget, and count against the worker's fleet trust. Failures spend the
+// cell's requeue budget.
 func (co *Coordinator) Result(req ResultRequest) (ResultResponse, error) {
 	now := co.now()
 	co.mu.Lock()
 	defer co.mu.Unlock()
-	co.touchWorkerLocked(req.Worker, now)
+	w := co.touchWorkerLocked(req.Worker, now)
 	c := co.campaigns[req.Campaign]
 	if c == nil {
 		return ResultResponse{}, fmt.Errorf("fabric: unknown campaign %q", req.Campaign)
@@ -474,20 +768,10 @@ func (co *Coordinator) Result(req ResultRequest) (ResultResponse, error) {
 	if c.cancelled {
 		return ResultResponse{Accepted: false}, nil
 	}
-	if j.state == jobDone {
-		// Double completion: a worker we presumed dead finished anyway.
-		if co.metrics != nil {
-			co.metrics.dedups.Inc()
-		}
-		co.logf("campaign %s: deduped double completion of %s from %s", c.id, req.Key, req.Worker)
-		return ResultResponse{Accepted: false}, nil
-	}
 	if req.Released {
 		// Voluntary handback (draining worker): requeue at no budget cost.
-		if j.state == jobLeased && j.worker == req.Worker {
-			co.releaseLeaseLocked(c, j)
-			j.state = jobQueued
-			c.queue = append(c.queue, req.Key)
+		if j.state == jobPending && co.dropLeaseLocked(j, req.Worker) {
+			co.enqueueLocked(c, j, req.Key)
 			c.requeues++
 			if co.metrics != nil {
 				co.metrics.requeues.Inc()
@@ -499,56 +783,28 @@ func (co *Coordinator) Result(req ResultRequest) (ResultResponse, error) {
 		return ResultResponse{Accepted: false}, nil
 	}
 	if req.OK {
-		// First result wins, even from a worker whose lease already
-		// expired. Reconcile whatever state the cell drifted into while the
-		// report was in flight.
-		switch j.state {
-		case jobLeased:
-			co.releaseLeaseLocked(c, j)
-		case jobQueued:
-			// Requeued after the reporter's lease expired: drop the stale
-			// queue entry so the cell is never re-leased over a done result.
-			c.queue = removeKey(c.queue, req.Key)
-		case jobFailed:
-			// Budget exhausted, but a real result arrived anyway: revive the
-			// cell (the journal's latest-record-wins reload agrees).
-			c.failed--
-			co.logf("campaign %s: late success from %s revived failed cell %s", c.id, req.Worker, req.Key)
-		}
-		j.state = jobDone
-		j.result = append(json.RawMessage(nil), req.Result...)
-		j.failure = nil
-		c.done++
-		c.jnl.Done(req.Key, j.attempts, json.RawMessage(j.result), req.Worker)
-		if w := co.workers[req.Worker]; w != nil {
-			w.done++
-		}
-		if co.metrics != nil {
-			co.metrics.resultsOK.Inc()
-		}
+		resp := co.voteLocked(c, j, w, req)
 		co.updateGaugesLocked()
-		return ResultResponse{Accepted: true}, nil
+		return resp, nil
 	}
 
-	// Failures are only accepted from the current lease holder: a stale
+	// Failures are only accepted from a current lease holder: a stale
 	// report from an expired lease must not spend the budget of — or
 	// double-requeue — a cell another worker now owns.
-	if j.state != jobLeased || j.worker != req.Worker {
+	if j.state != jobPending || !co.dropLeaseLocked(j, req.Worker) {
 		return ResultResponse{Accepted: false}, nil
 	}
-	co.releaseLeaseLocked(c, j)
-
 	kind := req.FailKind
 	if kind == "" {
 		kind = harness.FailError
 	}
-	if w := co.workers[req.Worker]; w != nil {
+	if w != nil {
 		w.failed++
 	}
 	if co.metrics != nil {
 		co.metrics.resultsFailed.Inc()
 	}
-	co.failOrRequeueLocked(c, j, req.Worker, harness.JobFailure{
+	co.failOrRequeueLocked(c, j, req.Key, req.Worker, harness.JobFailure{
 		Key: req.Key, Seed: j.spec.Seed, Kind: kind,
 		Attempts: j.attempts, Err: req.Error,
 	})
@@ -556,52 +812,338 @@ func (co *Coordinator) Result(req ResultRequest) (ResultResponse, error) {
 	return ResultResponse{Accepted: true}, nil
 }
 
-// removeKey drops the first occurrence of key from q in place.
-func removeKey(q []string, key string) []string {
-	for i, k := range q {
-		if k == key {
-			return append(q[:i], q[i+1:]...)
+// voteLocked processes one successful, digest-carrying result report.
+func (co *Coordinator) voteLocked(c *campaign, j *job, w *workerInfo, req ResultRequest) ResultResponse {
+	// A quarantined worker's word is worth nothing, not even a dedup.
+	if w == nil || w.quar.State() == fault.QDisabled {
+		co.logf("campaign %s: rejected result for %s from quarantined worker %q", c.id, req.Key, req.Worker)
+		return ResultResponse{Accepted: false}
+	}
+
+	// Attestation: recompute the canonical digest over the bytes received
+	// against the spec handed out. A mismatch (or a missing digest) means
+	// the payload is not provably the simulator's output for this cell —
+	// reject it before it can touch the journal, requeue the cell at no
+	// budget cost, and strike the worker's trust.
+	if want := ResultDigest(c.id, j.spec, req.Result); req.Digest != want {
+		c.corrupt++
+		w.corrupt++
+		if w.corruptCtr != nil {
+			w.corruptCtr.Inc()
+		}
+		if co.metrics != nil {
+			co.metrics.corrupt.Inc()
+		}
+		co.logf("campaign %s: CORRUPT result for %s from %q (digest %.24q, want %.24q)",
+			c.id, req.Key, req.Worker, req.Digest, want)
+		if co.dropLeaseLocked(j, req.Worker) {
+			co.enqueueLocked(c, j, req.Key)
+			c.requeues++
+			if co.metrics != nil {
+				co.metrics.requeues.Inc()
+			}
+		}
+		co.strikeLocked(w, "corrupt result for "+req.Key)
+		return ResultResponse{Accepted: false}
+	}
+
+	if j.state == jobDone {
+		// Double completion: a worker we presumed dead finished anyway. A
+		// matching digest is a benign race; a differing digest means this
+		// worker disagrees with an accepted quorum — strike it.
+		if req.Digest != j.digest && j.digest != "" {
+			w.outvoted++
+			co.strikeLocked(w, "late disagreement on "+req.Key)
+		}
+		if co.metrics != nil {
+			co.metrics.dedups.Inc()
+		}
+		co.logf("campaign %s: deduped double completion of %s from %s", c.id, req.Key, req.Worker)
+		return ResultResponse{Accepted: false}
+	}
+	if j.voted(req.Worker) {
+		if co.metrics != nil {
+			co.metrics.dedups.Inc()
+		}
+		return ResultResponse{Accepted: false}
+	}
+
+	co.dropLeaseLocked(j, req.Worker)
+	j.votes = append(j.votes, vote{
+		worker: req.Worker,
+		digest: req.Digest,
+		result: append(json.RawMessage(nil), req.Result...),
+	})
+	// A clamped (suspect) worker's solo word is not enough: raise the
+	// cell's bar to two agreeing votes.
+	if w.quar.State() == fault.QClamped && j.needVotes < 2 {
+		j.needVotes = 2
+		co.logf("campaign %s: %s reported by suspect worker %q, requiring corroboration", c.id, req.Key, req.Worker)
+	}
+	// Seeded spot-check: even a trusted fleet gets audited. Roll once per
+	// cell, at its first vote, so the audit re-leases completed work.
+	if !j.spotRolled && co.cfg.SpotCheckPPM > 0 {
+		j.spotRolled = true
+		if j.needVotes < 2 && co.spot.Roll(co.cfg.SpotCheckPPM) {
+			j.needVotes = 2
+			c.spotChecks++
+			if co.metrics != nil {
+				co.metrics.spotChecks.Inc()
+			}
+			co.logf("campaign %s: spot-checking %s (re-leasing for a confirming vote)", c.id, req.Key)
 		}
 	}
-	return q
+	co.settleLocked(c, j, req.Key)
+	return ResultResponse{Accepted: true}
 }
 
-// releaseLeaseLocked drops a lease's bookkeeping (the job's next state is
-// the caller's business).
-func (co *Coordinator) releaseLeaseLocked(c *campaign, j *job) {
-	if j.state == jobLeased {
-		if w := co.workers[j.worker]; w != nil && w.leases > 0 {
-			w.leases--
+// settleLocked examines a pending cell's votes: finalize on majority,
+// escalate on full-house disagreement, or keep collecting.
+func (co *Coordinator) settleLocked(c *campaign, j *job, key string) {
+	digest, count, trusted := co.tallyLocked(j)
+	quorum := j.needVotes/2 + 1
+	if count >= quorum {
+		co.finalizeLocked(c, j, key, digest, nil)
+		return
+	}
+	if trusted >= j.needVotes {
+		// Every wanted vote is in and none has a majority: a byzantine
+		// disagreement. The coordinator-local tiebreaker decides if
+		// configured; otherwise widen the electorate one worker per round,
+		// paced by the cell's retry budget.
+		switch {
+		case co.cfg.LocalRun != nil && j.state != jobTiebreak:
+			j.state = jobTiebreak
+			co.dequeueLocked(c, j, key)
+			if co.metrics != nil {
+				co.metrics.tiebreaks.Inc()
+			}
+			co.logf("campaign %s: vote disagreement on %s, running local tiebreak", c.id, key)
+			go co.runTiebreak(c.id, key, j.spec)
+		case j.budget.Allow():
+			j.needVotes++
+			c.requeues++
+			if co.metrics != nil {
+				co.metrics.requeues.Inc()
+			}
+			co.logf("campaign %s: vote disagreement on %s, widening electorate to %d", c.id, key, j.needVotes)
+			co.enqueueLocked(c, j, key)
+		default:
+			co.failLocked(c, j, key, harness.JobFailure{
+				Key: key, Seed: j.spec.Seed, Kind: FailNoQuorum,
+				Attempts: j.attempts,
+				Err:      fmt.Sprintf("%d attestation votes, no digest reached the %d-vote quorum", trusted, quorum),
+			}, "")
 		}
-		j.worker = ""
+		return
+	}
+	co.enqueueLocked(c, j, key)
+}
+
+// tallyLocked counts votes per digest, ignoring votes cast by workers that
+// have since been quarantined. It returns the leading digest (first to
+// reach its count, deterministically), its count, and the trusted total.
+func (co *Coordinator) tallyLocked(j *job) (top string, topCount, trusted int) {
+	counts := map[string]int{}
+	var order []string
+	for _, v := range j.votes {
+		if w := co.workers[v.worker]; w != nil && w.quar.State() == fault.QDisabled {
+			continue
+		}
+		trusted++
+		counts[v.digest]++
+		if counts[v.digest] == 1 {
+			order = append(order, v.digest)
+		}
+	}
+	for _, d := range order {
+		if counts[d] > topCount {
+			top, topCount = d, counts[d]
+		}
+	}
+	return top, topCount, trusted
+}
+
+// finalizeLocked completes a cell on the winning digest. result overrides
+// the payload (the tiebreaker's local bytes); nil selects the first vote
+// matching the digest — byte-identical to any other matching vote, since
+// the digest covers the payload. Voters on the winning side earn trust
+// credit; voters on any other digest are outvoted and struck.
+func (co *Coordinator) finalizeLocked(c *campaign, j *job, key, digest string, result json.RawMessage) {
+	var winner string
+	for _, v := range j.votes {
+		if v.digest == digest {
+			if result == nil {
+				result = v.result
+			}
+			if winner == "" {
+				winner = v.worker
+			}
+			break
+		}
+	}
+	if winner == "" {
+		winner = "coordinator" // tiebreak-only quorum: the local run decided
+	}
+	// Revoke leases still in flight; their late reports dedup against the
+	// accepted digest.
+	for wname := range j.leases {
+		co.dropLeaseLocked(j, wname)
+	}
+	co.dequeueLocked(c, j, key)
+	if j.state == jobFailed {
+		// Budget exhausted earlier, but a quorum formed anyway: revive the
+		// cell (the journal's latest-record-wins reload agrees).
+		c.failed--
+		co.logf("campaign %s: late quorum revived failed cell %s", c.id, key)
+	}
+	j.state = jobDone
+	j.result = append(json.RawMessage(nil), result...)
+	j.digest = digest
+	j.failure = nil
+	c.done++
+	c.jnl.Done(key, j.attempts, json.RawMessage(j.result), winner, digest)
+	for _, v := range j.votes {
+		w := co.workers[v.worker]
+		if w == nil {
+			continue
+		}
+		if v.digest == digest {
+			w.done++
+			co.creditLocked(w)
+		} else {
+			w.outvoted++
+			co.strikeLocked(w, "outvoted on "+key)
+		}
+	}
+	if co.metrics != nil {
+		co.metrics.resultsOK.Inc()
+	}
+}
+
+// runTiebreak re-executes a disputed cell locally and resolves its quorum
+// with the authoritative digest. Runs outside the coordinator lock — a
+// simulation can take minutes and heartbeats must keep flowing.
+func (co *Coordinator) runTiebreak(campaignID, key string, spec JobSpec) {
+	result, err := co.cfg.LocalRun(context.Background(), spec, nil)
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	c := co.campaigns[campaignID]
+	if c == nil || c.cancelled {
+		return
+	}
+	j := c.jobs[key]
+	if j == nil || j.state != jobTiebreak {
+		return
+	}
+	if err != nil {
+		co.failLocked(c, j, key, harness.JobFailure{
+			Key: key, Seed: spec.Seed, Kind: FailTiebreak,
+			Attempts: j.attempts,
+			Err:      fmt.Sprintf("local tiebreak re-execution failed: %v", err),
+		}, "coordinator")
+		co.updateGaugesLocked()
+		return
+	}
+	digest := ResultDigest(campaignID, spec, result)
+	co.logf("campaign %s: local tiebreak for %s decided digest %.24q", campaignID, key, digest)
+	co.finalizeLocked(c, j, key, digest, result)
+	co.updateGaugesLocked()
+}
+
+// strikeLocked charges one trust strike against a worker, escalating its
+// quarantine level when the score crosses a threshold.
+func (co *Coordinator) strikeLocked(w *workerInfo, why string) {
+	if w == nil {
+		return
+	}
+	was := w.quar.State()
+	w.quar.OnWrong()
+	if st := w.quar.State(); st != was {
+		co.logf("worker %q trust degraded to %s after %s", w.name, st, why)
+		if st == fault.QDisabled {
+			co.quarantineWorkerLocked(w)
+		}
+	}
+}
+
+// creditLocked rewards a corroborated result, relaxing the worker's
+// quarantine level with hysteresis.
+func (co *Coordinator) creditLocked(w *workerInfo) {
+	if w == nil {
+		return
+	}
+	was := w.quar.State()
+	if w.quar.OnCorrect() {
+		co.logf("worker %q trust recovered from %s to %s", w.name, was, w.quar.State())
+	}
+}
+
+// quarantineWorkerLocked revokes everything a freshly-disabled worker
+// holds: its leases requeue at no budget cost (the worker is the fault,
+// not the cells), and pending cells it voted on are re-opened for
+// replacement votes.
+func (co *Coordinator) quarantineWorkerLocked(w *workerInfo) {
+	if co.metrics != nil {
+		co.metrics.quarantines.Inc()
+	}
+	co.logf("worker %q QUARANTINED: leases revoked, votes discounted", w.name)
+	for _, id := range co.order {
+		c := co.campaigns[id]
+		if c.cancelled {
+			continue
+		}
+		for _, key := range c.order {
+			j := c.jobs[key]
+			if j.state != jobPending {
+				continue
+			}
+			if co.dropLeaseLocked(j, w.name) {
+				c.requeues++
+				if co.metrics != nil {
+					co.metrics.requeues.Inc()
+				}
+			}
+			co.enqueueLocked(c, j, key)
+		}
 	}
 }
 
 // failOrRequeueLocked spends the cell's requeue budget: requeue while it
 // lasts, mark failed once exhausted. worker is the agent the failure is
 // attributed to in the journal.
-func (co *Coordinator) failOrRequeueLocked(c *campaign, j *job, worker string, f harness.JobFailure) {
+func (co *Coordinator) failOrRequeueLocked(c *campaign, j *job, key, worker string, f harness.JobFailure) {
 	if j.budget.Allow() {
-		j.state = jobQueued
-		c.queue = append(c.queue, f.Key)
+		co.enqueueLocked(c, j, key)
 		c.requeues++
 		if co.metrics != nil {
 			co.metrics.requeues.Inc()
 		}
-		co.logf("campaign %s: requeued %s after %s (%s), attempt %d", c.id, f.Key, f.Kind, f.Err, f.Attempts)
+		co.logf("campaign %s: requeued %s after %s (%s), attempt %d", c.id, key, f.Kind, f.Err, f.Attempts)
 		return
 	}
+	co.failLocked(c, j, key, f, worker)
+}
+
+// failLocked marks a cell permanently failed.
+func (co *Coordinator) failLocked(c *campaign, j *job, key string, f harness.JobFailure, worker string) {
+	for wname := range j.leases {
+		co.dropLeaseLocked(j, wname)
+	}
+	co.dequeueLocked(c, j, key)
 	j.state = jobFailed
 	j.failure = &f
 	c.failed++
 	c.jnl.Failed(f, worker)
-	co.logf("campaign %s: %s FAILED permanently: %s", c.id, f.Key, f.Err)
+	co.logf("campaign %s: %s FAILED permanently: %s", c.id, key, f.Err)
 }
 
 // ExpireLeases requeues every lease whose heartbeat deadline has passed —
-// the worker-loss detector — and prunes long-silent idle workers from the
-// fleet view. It returns how many leases expired. The server runs this on
-// a ticker; tests call it directly with a fake clock.
+// the worker-loss detector — decays worker trust scores, and prunes
+// long-silent idle workers from the fleet view (quarantined workers are
+// kept: their record is the point). It returns how many leases expired.
+// The server runs this on a ticker; tests call it directly with a fake
+// clock.
 func (co *Coordinator) ExpireLeases() int {
 	now := co.now()
 	co.mu.Lock()
@@ -611,28 +1153,45 @@ func (co *Coordinator) ExpireLeases() int {
 		c := co.campaigns[id]
 		for _, key := range c.order {
 			j := c.jobs[key]
-			if j.state != jobLeased || now.Before(j.expiry) {
+			if j.state != jobPending {
 				continue
 			}
-			expired++
-			worker := j.worker
-			if w := co.workers[worker]; w != nil {
-				w.lost++
+			for wname, li := range j.leases {
+				if now.Before(li.expiry) {
+					continue
+				}
+				expired++
+				if w := co.workers[wname]; w != nil {
+					w.lost++
+				}
+				if co.metrics != nil {
+					co.metrics.expiries.Inc()
+				}
+				co.dropLeaseLocked(j, wname)
+				co.failOrRequeueLocked(c, j, key, wname, harness.JobFailure{
+					Key: key, Seed: j.spec.Seed, Kind: FailLostWorker,
+					Attempts: j.attempts,
+					Err:      fmt.Sprintf("lease on %s expired (no heartbeat from %q within %s)", key, wname, co.cfg.leaseTTL()),
+				})
+				if j.state != jobPending {
+					break // the cell failed; remaining leases were revoked
+				}
 			}
-			if co.metrics != nil {
-				co.metrics.expiries.Inc()
-			}
-			co.releaseLeaseLocked(c, j)
-			co.failOrRequeueLocked(c, j, worker, harness.JobFailure{
-				Key: key, Seed: j.spec.Seed, Kind: FailLostWorker,
-				Attempts: j.attempts,
-				Err:      fmt.Sprintf("lease on %s expired (no heartbeat from %q within %s)", key, worker, co.cfg.leaseTTL()),
-			})
 		}
 	}
-	// Prune workers that hold nothing and have gone silent.
+	// Trust decay: one passive tick per scan walks quarantine scores back
+	// down, so a disabled worker that was fixed and redeployed eventually
+	// rehabilitates.
+	for _, w := range co.workers {
+		was := w.quar.State()
+		if w.quar.Tick() {
+			co.logf("worker %q trust decayed from %s to %s", w.name, was, w.quar.State())
+		}
+	}
+	// Prune workers that hold nothing, have gone silent, and are in good
+	// standing.
 	for name, w := range co.workers {
-		if w.leases == 0 && now.Sub(w.lastSeen) > co.cfg.pruneAfter() {
+		if w.leases == 0 && w.quar.State() == fault.QHealthy && now.Sub(w.lastSeen) > co.cfg.pruneAfter() {
 			delete(co.workers, name)
 			co.dropWorkerGauges(name)
 		}
@@ -642,10 +1201,6 @@ func (co *Coordinator) ExpireLeases() int {
 	}
 	return expired
 }
-
-// FailLostWorker classifies a cell whose lease expired because its worker
-// stopped heartbeating — the fabric's worker-loss fault class.
-const FailLostWorker harness.FailKind = "lost-worker"
 
 // Status reports one campaign's live counters.
 func (co *Coordinator) Status(id string) (CampaignStatus, error) {
@@ -661,7 +1216,7 @@ func (co *Coordinator) Status(id string) (CampaignStatus, error) {
 func (co *Coordinator) statusLocked(c *campaign) CampaignStatus {
 	leased := 0
 	for _, j := range c.jobs {
-		if j.state == jobLeased {
+		if len(j.leases) > 0 {
 			leased++
 		}
 	}
@@ -676,6 +1231,8 @@ func (co *Coordinator) statusLocked(c *campaign) CampaignStatus {
 		Done:        c.done,
 		Failed:      c.failed,
 		Requeues:    c.requeues,
+		Corrupt:     c.corrupt,
+		SpotChecks:  c.spotChecks,
 	}
 }
 
@@ -731,9 +1288,9 @@ func (co *Coordinator) Cancel(id string) error {
 		c.cancelled = true
 		c.queue = nil
 		for _, j := range c.jobs {
-			if j.state == jobLeased {
-				co.releaseLeaseLocked(c, j)
-				j.state = jobQueued
+			j.queued = false
+			for wname := range j.leases {
+				co.dropLeaseLocked(j, wname)
 			}
 		}
 		co.logf("campaign %s (%s): cancelled", c.id, c.name)
@@ -757,6 +1314,9 @@ func (co *Coordinator) Fleet() []WorkerStatus {
 			Failed:       w.failed,
 			Lost:         w.lost,
 			CycleRate:    w.cycleRate,
+			Trust:        w.quar.State().String(),
+			Corrupt:      w.corrupt,
+			Outvoted:     w.outvoted,
 		})
 	}
 	sort.Slice(out, func(i, k int) bool { return out[i].Name < out[k].Name })
@@ -781,9 +1341,9 @@ func (co *Coordinator) touchWorkerLocked(name string, now time.Time) *workerInfo
 	}
 	w := co.workers[name]
 	if w == nil {
-		w = &workerInfo{name: name}
+		w = &workerInfo{name: name, quar: fault.NewQuarantineTuned(fleetTuning)}
 		co.workers[name] = w
-		co.registerWorkerGauges(name)
+		co.registerWorkerGauges(name, w)
 		co.logf("worker %q joined the fleet", name)
 	}
 	w.lastSeen = now
@@ -793,7 +1353,7 @@ func (co *Coordinator) touchWorkerLocked(name string, now time.Time) *workerInfo
 // registerWorkerGauges exports one worker's fleet row as labeled gauges.
 // The gauge funcs read coordinator state at scrape time (the registry
 // releases its own lock before calling them, so lock order is safe).
-func (co *Coordinator) registerWorkerGauges(name string) {
+func (co *Coordinator) registerWorkerGauges(name string, w *workerInfo) {
 	if co.metrics == nil {
 		return
 	}
@@ -836,6 +1396,11 @@ func (co *Coordinator) registerWorkerGauges(name string) {
 	reg.LabeledGaugeFunc("mtvp_fleet_cycle_rate", labels,
 		"recent simulated cycles per second (EWMA over heartbeats)",
 		read(func(w *workerInfo) float64 { return w.cycleRate }))
+	reg.LabeledGaugeFunc("mtvp_fleet_trust", labels,
+		"fleet trust quarantine level (0 healthy, 1 clamped, 2 disabled)",
+		read(func(w *workerInfo) float64 { return float64(w.quar.State()) }))
+	w.corruptCtr = reg.LabeledCounter("mtvp_fleet_corrupt_results_total", labels,
+		"results from the worker rejected for attestation-digest mismatch")
 }
 
 // dropWorkerGauges retires a pruned worker's labeled gauges.
@@ -848,6 +1413,7 @@ func (co *Coordinator) dropWorkerGauges(name string) {
 		"mtvp_fleet_leases", "mtvp_fleet_heartbeat_age_seconds",
 		"mtvp_fleet_jobs_done", "mtvp_fleet_jobs_failed",
 		"mtvp_fleet_leases_lost", "mtvp_fleet_cycle_rate",
+		"mtvp_fleet_trust", "mtvp_fleet_corrupt_results_total",
 	} {
 		co.metrics.reg.Unregister(metric, labels)
 	}
@@ -865,12 +1431,17 @@ func (co *Coordinator) updateGaugesLocked() {
 		}
 		queued += len(c.queue)
 		for _, j := range c.jobs {
-			if j.state == jobLeased {
-				leased++
-			}
+			leased += len(j.leases)
+		}
+	}
+	quarantined := 0
+	for _, w := range co.workers {
+		if w.quar.State() == fault.QDisabled {
+			quarantined++
 		}
 	}
 	co.metrics.campaignsLive.Set(int64(running))
 	co.metrics.jobsQueued.Set(int64(queued))
 	co.metrics.jobsLeased.Set(int64(leased))
+	co.metrics.quarantined.Set(int64(quarantined))
 }

@@ -42,6 +42,19 @@ func newTestCoordinator(t *testing.T, clk *fakeClock, cfg CoordinatorConfig) *Co
 	return co
 }
 
+// signedOK builds a success report carrying a valid attestation digest for
+// one of the coordinator's cells — what an honest worker sends.
+func signedOK(co *Coordinator, worker, campaign, key, payload string) ResultRequest {
+	co.mu.Lock()
+	spec := co.campaigns[campaign].jobs[key].spec
+	co.mu.Unlock()
+	res := json.RawMessage(payload)
+	return ResultRequest{
+		Worker: worker, Campaign: campaign, Key: key,
+		OK: true, Result: res, Digest: ResultDigest(campaign, spec, res),
+	}
+}
+
 func TestSubmitIsIdempotent(t *testing.T) {
 	co := newTestCoordinator(t, nil, CoordinatorConfig{})
 	spec := testSpec("fig1", 3)
@@ -161,12 +174,12 @@ func TestDoubleCompletionDedup(t *testing.T) {
 	co.Lease("w2")
 
 	// w2 finishes first.
-	r2, err := co.Result(ResultRequest{Worker: "w2", Campaign: id, Key: key, OK: true, Result: json.RawMessage(`{"v":2}`)})
+	r2, err := co.Result(signedOK(co, "w2", id, key, `{"v":2}`))
 	if err != nil || !r2.Accepted {
 		t.Fatalf("first completion must be accepted: %+v %v", r2, err)
 	}
 	// The presumed-dead w1 finishes anyway: deduped, first result kept.
-	r1, err := co.Result(ResultRequest{Worker: "w1", Campaign: id, Key: key, OK: true, Result: json.RawMessage(`{"v":1}`)})
+	r1, err := co.Result(signedOK(co, "w1", id, key, `{"v":1}`))
 	if err != nil || r1.Accepted {
 		t.Fatalf("double completion must be deduped: %+v %v", r1, err)
 	}
@@ -193,7 +206,7 @@ func TestLateSuccessForRequeuedCellDropsQueueEntry(t *testing.T) {
 	co.ExpireLeases() // w1 presumed dead, cell back in the queue
 
 	// w1 finishes anyway before anyone re-leases the cell.
-	resp, err := co.Result(ResultRequest{Worker: "w1", Campaign: id, Key: key, OK: true, Result: json.RawMessage(`{"v":1}`)})
+	resp, err := co.Result(signedOK(co, "w1", id, key, `{"v":1}`))
 	if err != nil || !resp.Accepted {
 		t.Fatalf("late success for a queued cell must be accepted: %+v %v", resp, err)
 	}
@@ -207,7 +220,7 @@ func TestLateSuccessForRequeuedCellDropsQueueEntry(t *testing.T) {
 	if _, ok := co.Lease("w2"); ok {
 		t.Fatal("a done cell must never be re-leased")
 	}
-	resp, _ = co.Result(ResultRequest{Worker: "w2", Campaign: id, Key: key, OK: true, Result: json.RawMessage(`{"v":2}`)})
+	resp, _ = co.Result(signedOK(co, "w2", id, key, `{"v":2}`))
 	if resp.Accepted {
 		t.Fatal("second completion must be deduped")
 	}
@@ -247,7 +260,7 @@ func TestStaleFailureFromExpiredLeaseIsRejected(t *testing.T) {
 	if st.Leased != 1 || st.Queued != 0 || st.Requeues != 1 {
 		t.Fatalf("stale failure must not requeue or spend budget: %+v", st)
 	}
-	resp, _ = co.Result(ResultRequest{Worker: "w2", Campaign: id, Key: key, OK: true, Result: json.RawMessage(`1`)})
+	resp, _ = co.Result(signedOK(co, "w2", id, key, `1`))
 	if !resp.Accepted {
 		t.Fatal("owner's result must be accepted")
 	}
@@ -276,7 +289,7 @@ func TestLateSuccessRevivesFailedCell(t *testing.T) {
 		t.Fatalf("budget must be exhausted first: %+v", st)
 	}
 
-	resp, err := co.Result(ResultRequest{Worker: "w1", Campaign: id, Key: key, OK: true, Result: json.RawMessage(`{"v":1}`)})
+	resp, err := co.Result(signedOK(co, "w1", id, key, `{"v":1}`))
 	if err != nil || !resp.Accepted {
 		t.Fatalf("late success must revive a failed cell: %+v %v", resp, err)
 	}
@@ -398,7 +411,7 @@ func TestFleetViewAndMetrics(t *testing.T) {
 	co.Heartbeat(HeartbeatRequest{Worker: "alpha", Campaign: id, Key: l1.Spec.Key, Cycles: 5000})
 	clk.advance(time.Second)
 	co.Heartbeat(HeartbeatRequest{Worker: "alpha", Campaign: id, Key: l1.Spec.Key, Cycles: 15_000})
-	co.Result(ResultRequest{Worker: "alpha", Campaign: id, Key: l1.Spec.Key, OK: true, Result: json.RawMessage(`1`)})
+	co.Result(signedOK(co, "alpha", id, l1.Spec.Key, `1`))
 	clk.advance(11 * time.Second)
 	co.ExpireLeases() // beta dies
 
@@ -465,10 +478,7 @@ func TestCoordinatorRestartResumes(t *testing.T) {
 		if !ok {
 			t.Fatal("lease refused")
 		}
-		co.Result(ResultRequest{
-			Worker: "w1", Campaign: id, Key: lease.Spec.Key,
-			OK: true, Result: json.RawMessage(fmt.Sprintf(`{"cell":%q}`, lease.Spec.Key)),
-		})
+		co.Result(signedOK(co, "w1", id, lease.Spec.Key, fmt.Sprintf(`{"cell":%q}`, lease.Spec.Key)))
 	}
 	co.Lease("w1")
 	co.Close()
@@ -499,10 +509,7 @@ func TestCoordinatorRestartResumes(t *testing.T) {
 		if !ok {
 			break
 		}
-		co2.Result(ResultRequest{
-			Worker: "w2", Campaign: id, Key: lease.Spec.Key,
-			OK: true, Result: json.RawMessage(fmt.Sprintf(`{"cell":%q}`, lease.Spec.Key)),
-		})
+		co2.Result(signedOK(co2, "w2", id, lease.Spec.Key, fmt.Sprintf(`{"cell":%q}`, lease.Spec.Key)))
 	}
 	st, _ = co2.Status(id)
 	if st.State != StateComplete || st.Done != 4 {

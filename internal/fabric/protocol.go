@@ -108,6 +108,12 @@ type CampaignStatus struct {
 	// Requeues counts leases lost to expiry or reported failures that were
 	// put back on the queue (the graceful-degradation path working).
 	Requeues int `json:"requeues"`
+	// Corrupt counts results rejected for a missing or mismatching
+	// attestation digest (the byzantine-defense path working).
+	Corrupt int `json:"corrupt,omitempty"`
+	// SpotChecks counts cells escalated to redundant verification by the
+	// seeded spot-checker.
+	SpotChecks int `json:"spot_checks,omitempty"`
 }
 
 // CampaignResults is the terminal payload: per-key raw results (the
@@ -167,6 +173,11 @@ type ResultRequest struct {
 	Result   json.RawMessage  `json:"result,omitempty"`
 	Error    string           `json:"error,omitempty"`
 	FailKind harness.FailKind `json:"fail_kind,omitempty"`
+	// Digest attests the result: ResultDigest(Campaign, spec, Result)
+	// computed worker-side over the exact bytes sent. The coordinator
+	// recomputes it; a missing or mismatching digest is a corrupt result —
+	// rejected, never journaled, and a trust strike against the worker.
+	Digest string `json:"digest,omitempty"`
 	// Released hands the lease back voluntarily (a draining worker shutting
 	// down on SIGTERM): the cell requeues immediately WITHOUT spending its
 	// retry budget — an orderly departure is not a fault.
@@ -194,4 +205,13 @@ type WorkerStatus struct {
 	// CycleRate is the worker's recent simulated-cycle throughput
 	// (cycles/sec, EWMA over heartbeat deltas).
 	CycleRate float64 `json:"cycle_rate"`
+	// Trust is the worker's fleet-quarantine level: "healthy", "clamped"
+	// (suspect — its solo results need a corroborating vote from another
+	// worker), or "disabled" (quarantined — no leases, results rejected).
+	Trust string `json:"trust"`
+	// Corrupt counts results from this worker rejected for a missing or
+	// mismatching attestation digest.
+	Corrupt uint64 `json:"corrupt"`
+	// Outvoted counts verification quorums this worker's digest lost.
+	Outvoted uint64 `json:"outvoted"`
 }

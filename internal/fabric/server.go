@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/subtle"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -11,6 +12,11 @@ import (
 	"strings"
 	"time"
 )
+
+// maxBodyBytes bounds every request body the coordinator will buffer: a
+// campaign of a few thousand cells fits comfortably; a hostile client
+// streaming gigabytes gets cut off at the reader, not at OOM.
+const maxBodyBytes = 16 << 20
 
 // ServerConfig tunes the coordinator's HTTP front end.
 type ServerConfig struct {
@@ -22,6 +28,15 @@ type ServerConfig struct {
 	Token string
 	// ExpireEvery is the lease-expiry scan period (0 selects LeaseTTL/4).
 	ExpireEvery time.Duration
+	// MaxBody overrides the per-request body cap (0 selects 16 MiB).
+	MaxBody int64
+}
+
+func (c ServerConfig) maxBody() int64 {
+	if c.MaxBody > 0 {
+		return c.MaxBody
+	}
+	return maxBodyBytes
 }
 
 // Server exposes a Coordinator over HTTP: the campaign API (submit /
@@ -98,7 +113,16 @@ func NewServer(co *Coordinator, cfg ServerConfig) (*Server, error) {
 		}
 	}()
 
-	s.srv = &http.Server{Handler: mux}
+	// Slowloris armor: a client must deliver its headers within 5s and its
+	// whole request within 30s, and idle keep-alive connections are
+	// reclaimed after 2 minutes. No write timeout: the debug surface
+	// (pprof profiles) legitimately streams for longer than any sane cap.
+	s.srv = &http.Server{
+		Handler:           http.MaxBytesHandler(mux, cfg.maxBody()),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go s.srv.Serve(ln)
 	return s, nil
 }
@@ -139,6 +163,13 @@ func writeJSON(w http.ResponseWriter, v any) {
 
 func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		// Bodies are capped by MaxBytesHandler; blowing the cap is its own
+		// status, not a generic parse failure.
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+			return false
+		}
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return false
 	}
@@ -151,7 +182,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp, err := s.co.Submit(spec)
-	if err != nil {
+	var over *OverloadError
+	switch {
+	case errors.As(err, &over):
+		// Admission-control shedding: tell the client when to come back.
+		secs := int(over.RetryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprint(secs))
+		http.Error(w, over.Reason, http.StatusTooManyRequests)
+		return
+	case err != nil:
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}

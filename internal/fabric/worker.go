@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mtvp/internal/fault"
 	"mtvp/internal/harness"
 )
 
@@ -34,10 +35,25 @@ type WorkerConfig struct {
 	// Slots is the number of cells run concurrently (<1 selects GOMAXPROCS).
 	Slots int
 	// Poll is the idle backoff between lease attempts when the coordinator
-	// has nothing queued or is unreachable (0 selects 500ms).
+	// has nothing queued or is unreachable (0 selects 500ms). Actual sleeps
+	// are jittered ±50% from a seeded stream so a fleet of identically
+	// configured workers never polls in lockstep.
 	Poll time.Duration
+	// ReportTimeout bounds each attempt to deliver a finished cell's result
+	// (0 selects 10s). Raise it for coordinators behind slow links; lease
+	// expiry covers the loss either way.
+	ReportTimeout time.Duration
+	// JitterSeed seeds the poll/retry jitter streams (0 selects a fixed
+	// default); each slot derives its own stream, so a worker's backoff
+	// schedule is reproducible from the seed.
+	JitterSeed uint64
 	// Run executes a cell (required).
 	Run RunFunc
+	// Tamper, when non-nil, mangles every successful result payload AFTER
+	// its attestation digest is computed — a byzantine worker whose payload
+	// does not match its own attestation. Test/chaos use only: this is the
+	// fault the coordinator's digest verification exists to catch.
+	Tamper func(json.RawMessage) json.RawMessage
 	// Logf, when non-nil, receives agent progress lines.
 	Logf func(format string, args ...any)
 }
@@ -67,15 +83,22 @@ func (c WorkerConfig) poll() time.Duration {
 	return c.Poll
 }
 
+func (c WorkerConfig) reportTimeout() time.Duration {
+	if c.ReportTimeout <= 0 {
+		return 10 * time.Second
+	}
+	return c.ReportTimeout
+}
+
 // errLeaseLost cancels a running cell whose lease the coordinator revoked.
 var errLeaseLost = errors.New("fabric: lease lost")
 
 // RunWorker runs the agent loop until ctx is cancelled: every slot pulls a
-// lease, runs the cell under a heartbeat stream, and reports the outcome.
-// On shutdown, in-flight cells are cancelled and their leases handed back
-// (released) so they requeue immediately without spending retry budget.
-// Worker death without the handback is also safe — that is what lease
-// expiry is for — the release is just faster.
+// lease, runs the cell under a heartbeat stream, and reports the outcome
+// with its attestation digest. On shutdown, in-flight cells are cancelled
+// and their leases handed back (released) so they requeue immediately
+// without spending retry budget. Worker death without the handback is also
+// safe — that is what lease expiry is for — the release is just faster.
 func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	if cfg.Run == nil {
 		return fmt.Errorf("fabric: worker needs a Run function")
@@ -88,10 +111,11 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	w.logf("worker %s: %d slot(s), coordinator %s", w.name, cfg.slots(), cfg.Coordinator)
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.slots(); i++ {
+		i := i
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w.slotLoop(ctx)
+			w.slotLoop(ctx, i)
 		}()
 	}
 	wg.Wait()
@@ -111,28 +135,46 @@ func (w *worker) logf(format string, args ...any) {
 	}
 }
 
-// slotLoop pulls and runs leases until ctx ends.
-func (w *worker) slotLoop(ctx context.Context) {
+// jitter spreads d over [d/2, 3d/2) from the slot's seeded stream.
+func jitter(dice *fault.Dice, d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d/2 + time.Duration(dice.Rand64()%uint64(d))
+}
+
+// slotLoop pulls and runs leases until ctx ends. Each slot derives its own
+// jitter stream so sleeps are reproducible per (seed, slot) yet decorrelated
+// across a fleet.
+func (w *worker) slotLoop(ctx context.Context, slot int) {
+	dice := fault.NewDice(w.cfg.JitterSeed ^ (uint64(slot+1) * 0x9e3779b97f4a7c15))
 	for ctx.Err() == nil {
 		var lease Lease
 		err := w.client.do(ctx, http.MethodPost, PathLease, LeaseRequest{Worker: w.name}, &lease)
+		var over *OverloadError
 		switch {
 		case errors.Is(err, errNoContent):
-			sleepCtx(ctx, w.cfg.poll()) // nothing queued
+			sleepCtx(ctx, jitter(dice, w.cfg.poll())) // nothing queued
+			continue
+		case errors.As(err, &over):
+			// The coordinator is shedding: honor its Retry-After instead of
+			// hammering it on the poll period.
+			w.logf("worker %s: coordinator overloaded, backing off %s", w.name, over.RetryAfter)
+			sleepCtx(ctx, jitter(dice, over.RetryAfter))
 			continue
 		case err != nil:
 			if ctx.Err() == nil {
 				w.logf("worker %s: lease: %v (retrying)", w.name, err)
 			}
-			sleepCtx(ctx, w.cfg.poll())
+			sleepCtx(ctx, jitter(dice, w.cfg.poll()))
 			continue
 		}
-		w.runLease(ctx, lease)
+		w.runLease(ctx, lease, dice)
 	}
 }
 
 // runLease executes one leased cell under a heartbeat stream.
-func (w *worker) runLease(ctx context.Context, lease Lease) {
+func (w *worker) runLease(ctx context.Context, lease Lease, dice *fault.Dice) {
 	jctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
 
@@ -185,20 +227,34 @@ func (w *worker) runLease(ctx context.Context, lease Lease) {
 		// would be deduped, so only report a success (it is free to accept
 		// or dedup) and drop failures silently.
 		if err == nil {
-			w.report(ResultRequest{Worker: w.name, Campaign: lease.Campaign, Key: key, OK: true, Result: result})
+			w.report(w.okReport(lease, result), dice)
 		}
 	case ctx.Err() != nil && err != nil:
 		// Draining shutdown: hand the lease back without burning budget.
-		w.report(ResultRequest{Worker: w.name, Campaign: lease.Campaign, Key: key, Released: true})
+		w.report(ResultRequest{Worker: w.name, Campaign: lease.Campaign, Key: key, Released: true}, dice)
 		w.logf("worker %s: released %s (draining)", w.name, key)
 	case err != nil:
 		w.report(ResultRequest{
 			Worker: w.name, Campaign: lease.Campaign, Key: key,
 			OK: false, Error: err.Error(), FailKind: failKind(err),
-		})
+		}, dice)
 		w.logf("worker %s: %s failed: %v", w.name, key, err)
 	default:
-		w.report(ResultRequest{Worker: w.name, Campaign: lease.Campaign, Key: key, OK: true, Result: result})
+		w.report(w.okReport(lease, result), dice)
+	}
+}
+
+// okReport builds a successful result report: the attestation digest is
+// computed over the exact payload bytes, then the (test-only) tamper hook
+// gets its chance to be byzantine.
+func (w *worker) okReport(lease Lease, result json.RawMessage) ResultRequest {
+	digest := ResultDigest(lease.Campaign, lease.Spec, result)
+	if w.cfg.Tamper != nil {
+		result = w.cfg.Tamper(result)
+	}
+	return ResultRequest{
+		Worker: w.name, Campaign: lease.Campaign, Key: lease.Spec.Key,
+		OK: true, Result: result, Digest: digest,
 	}
 }
 
@@ -215,18 +271,19 @@ func (w *worker) runIsolated(ctx context.Context, spec JobSpec, progress func(ui
 
 // report delivers a terminal outcome with bounded retries — the result of
 // a finished cell is worth a few attempts, but a worker must never wedge
-// on an unreachable coordinator (lease expiry covers the loss).
-func (w *worker) report(req ResultRequest) {
+// on an unreachable coordinator (lease expiry covers the loss). Retry
+// pacing is jittered from the slot's seeded stream.
+func (w *worker) report(req ResultRequest, dice *fault.Dice) {
 	// Detached from the worker ctx: drain-time reports must still go out.
 	for attempt := 0; attempt < 3; attempt++ {
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), w.cfg.reportTimeout())
 		var resp ResultResponse
 		err := w.client.do(ctx, http.MethodPost, PathResult, req, &resp)
 		cancel()
 		if err == nil {
 			return
 		}
-		time.Sleep(time.Duration(attempt+1) * 200 * time.Millisecond)
+		time.Sleep(jitter(dice, time.Duration(attempt+1)*200*time.Millisecond))
 	}
 	w.logf("worker %s: failed to report %s (lease expiry will recover it)", w.name, req.Key)
 }

@@ -175,31 +175,63 @@ func ByName(name string) (Profile, error) {
 		name, strings.Join(names, ", "))
 }
 
+// Dice is the injector's seeded randomness source on its own: one
+// splitmix64 stream rolling parts-per-million chances, exactly reproducible
+// from the seed. It exists as a separate type because the fabric reuses the
+// same idiom away from the simulator — spot-check re-leasing and the chaos
+// network harness roll the same dice the fault injector does. A nil *Dice
+// never fires.
+type Dice struct {
+	rng uint64
+}
+
+// NewDice builds a seeded dice stream (seed 0 selects a fixed default).
+func NewDice(seed uint64) *Dice {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Dice{rng: seed}
+}
+
+// next advances the splitmix64 stream.
+func (d *Dice) next() uint64 {
+	d.rng += 0x9e3779b97f4a7c15
+	z := d.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Roll rolls one ppm-rated chance. A zero rate consumes no randomness, so
+// an unarmed site does not perturb the stream of an armed one.
+func (d *Dice) Roll(ppm uint32) bool {
+	if d == nil || ppm == 0 {
+		return false
+	}
+	return d.next()%1_000_000 < uint64(ppm)
+}
+
+// Rand64 returns deterministic payload randomness from the same stream.
+func (d *Dice) Rand64() uint64 {
+	if d == nil {
+		return 0
+	}
+	return d.next()
+}
+
 // Injector rolls deterministic dice at each injection opportunity. One
 // seeded splitmix64 stream drives every site, so a run is exactly
 // reproducible from (profile, seed). A nil *Injector never fires, letting
 // call sites stay unconditional.
 type Injector struct {
 	prof   Profile
-	rng    uint64
+	dice   Dice
 	counts [NumKinds]uint64
 }
 
 // NewInjector builds an injector for the profile over the given seed.
 func NewInjector(p Profile, seed uint64) *Injector {
-	if seed == 0 {
-		seed = 0x9e3779b97f4a7c15
-	}
-	return &Injector{prof: p, rng: seed}
-}
-
-// next advances the splitmix64 stream.
-func (i *Injector) next() uint64 {
-	i.rng += 0x9e3779b97f4a7c15
-	z := i.rng
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
+	return &Injector{prof: p, dice: *NewDice(seed)}
 }
 
 // Fire rolls one injection opportunity for fault class k, counting hits.
@@ -209,11 +241,7 @@ func (i *Injector) Fire(k Kind) bool {
 	if i == nil {
 		return false
 	}
-	r := i.prof.Rates[k]
-	if r == 0 {
-		return false
-	}
-	if i.next()%1_000_000 >= uint64(r) {
+	if !i.dice.Roll(i.prof.Rates[k]) {
 		return false
 	}
 	i.counts[k]++
@@ -226,7 +254,7 @@ func (i *Injector) Rand64() uint64 {
 	if i == nil {
 		return 0
 	}
-	return i.next()
+	return i.dice.Rand64()
 }
 
 // Profile returns the injector's profile (the zero Profile for nil).

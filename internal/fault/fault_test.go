@@ -388,3 +388,76 @@ func FuzzRecoveryStateMachines(f *testing.F) {
 		}
 	})
 }
+
+func TestDiceDeterminismAndRates(t *testing.T) {
+	// Same seed: identical decision stream (the property the fabric's
+	// spot-checker and the chaos network harness both lean on).
+	a, b := NewDice(42), NewDice(42)
+	for i := 0; i < 10_000; i++ {
+		ppm := uint32((i % 5) * 100_000)
+		if a.Roll(ppm) != b.Roll(ppm) {
+			t.Fatalf("roll %d diverged between same-seed dice", i)
+		}
+	}
+	// Zero rate consumes no randomness: interleaving dead rolls must not
+	// perturb the stream.
+	c, d := NewDice(7), NewDice(7)
+	var cs, ds []bool
+	for i := 0; i < 1000; i++ {
+		c.Roll(0)
+		cs = append(cs, c.Roll(500_000))
+		ds = append(ds, d.Roll(500_000))
+	}
+	for i := range cs {
+		if cs[i] != ds[i] {
+			t.Fatalf("roll %d: zero-rate rolls perturbed the stream", i)
+		}
+	}
+	// Rate sanity: ~50% at 500k ppm.
+	hits := 0
+	for _, h := range cs {
+		if h {
+			hits++
+		}
+	}
+	if hits < 400 || hits > 600 {
+		t.Errorf("500k ppm over 1000 rolls hit %d times, want ~500", hits)
+	}
+	// Nil dice never fires and never panics.
+	var nilDice *Dice
+	if nilDice.Roll(1_000_000) || nilDice.Rand64() != 0 {
+		t.Error("nil dice must be inert")
+	}
+}
+
+func TestQuarantineTuned(t *testing.T) {
+	// The fleet tuning: one wrong event clamps, a second disables.
+	q := NewQuarantineTuned(QuarantineTuning{
+		WrongCost: 32, CorrectCredit: 2, ClampAt: 32, DisableAt: 64, ScoreMax: 96, DecayEvery: 4,
+	})
+	if !q.OnWrong() || q.State() != QClamped {
+		t.Fatalf("first strike must clamp, got %s (score %d)", q.State(), q.Score())
+	}
+	if !q.OnWrong() || q.State() != QDisabled {
+		t.Fatalf("second strike must disable, got %s (score %d)", q.State(), q.Score())
+	}
+	// Rehabilitation: decay ticks walk the score back through the
+	// hysteresis bands.
+	for i := 0; i < 32*4; i++ { // 64 → 32: the disabled→clamped boundary
+		q.Tick()
+	}
+	if q.State() != QClamped {
+		t.Fatalf("decay to clampAt must relax to clamped, got %s (score %d)", q.State(), q.Score())
+	}
+	for i := 0; i < 16*4; i++ { // 32 → 16: the clamped→healthy boundary
+		q.Tick()
+	}
+	if q.State() != QHealthy {
+		t.Fatalf("full decay must rehabilitate, got %s (score %d)", q.State(), q.Score())
+	}
+
+	// Zero fields select the documented defaults.
+	if def, tuned := NewQuarantine(), NewQuarantineTuned(QuarantineTuning{}); *def != *tuned {
+		t.Error("zero tuning must equal the default quarantine")
+	}
+}

@@ -53,13 +53,39 @@ type Quarantine struct {
 // at 64, and the score passively decays 1 point per 256 commit ticks (so a
 // disabled context whose predictor makes no predictions can still recover).
 func NewQuarantine() *Quarantine {
+	return NewQuarantineTuned(QuarantineTuning{})
+}
+
+// QuarantineTuning parameterizes a Quarantine. The zero value of any field
+// selects the predictor-storm default for that field (see NewQuarantine).
+// The fabric coordinator runs the same state machine at fleet level with a
+// far harsher tuning: one attested-corrupt result from a worker is worth a
+// whole misprediction storm.
+type QuarantineTuning struct {
+	WrongCost     int // score added per wrong event
+	CorrectCredit int // score removed per correct event
+	ClampAt       int // score entering QClamped
+	DisableAt     int // score entering QDisabled
+	ScoreMax      int // saturation ceiling
+	DecayEvery    int // ticks per point of passive decay
+}
+
+// NewQuarantineTuned builds a detector with explicit tuning; zero fields
+// fall back to the defaults documented on NewQuarantine.
+func NewQuarantineTuned(t QuarantineTuning) *Quarantine {
+	def := func(v, d int) int {
+		if v <= 0 {
+			return d
+		}
+		return v
+	}
 	return &Quarantine{
-		wrongCost:     4,
-		correctCredit: 1,
-		clampAt:       32,
-		disableAt:     64,
-		scoreMax:      96,
-		decayEvery:    256,
+		wrongCost:     def(t.WrongCost, 4),
+		correctCredit: def(t.CorrectCredit, 1),
+		clampAt:       def(t.ClampAt, 32),
+		disableAt:     def(t.DisableAt, 64),
+		scoreMax:      def(t.ScoreMax, 96),
+		decayEvery:    def(t.DecayEvery, 256),
 	}
 }
 

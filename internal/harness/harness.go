@@ -373,7 +373,7 @@ func Run[R any](ctx context.Context, cfg Config, jobs []Job[R]) (*Campaign[R], e
 				if o.fail == nil {
 					camp.Results[j.Key] = o.res
 					sum.Completed++
-					jnl.Done(j.Key, o.attempts, o.res, "")
+					jnl.Done(j.Key, o.attempts, o.res, "", "")
 				} else {
 					sum.Failed++
 					sum.Failures = append(sum.Failures, *o.fail)

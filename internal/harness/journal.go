@@ -52,6 +52,14 @@ type Record struct {
 	// Worker identifies which fabric worker produced the record (empty for
 	// local in-process campaigns).
 	Worker string `json:"worker,omitempty"`
+
+	// Digest is the result's attestation digest (fabric.ResultDigest over
+	// campaign ID, job key, config fingerprint, and the result payload) when
+	// the record came through the sweep fabric's verified path; empty for
+	// local campaigns. A coordinator reloading a journal re-verifies it, so
+	// at-rest corruption of a result is caught at resume instead of leaking
+	// into a report.
+	Digest string `json:"digest,omitempty"`
 }
 
 // LoadJournal reads a journal for resume, returning the latest record per
@@ -161,8 +169,9 @@ func (j *Journal) Append(rec Record) {
 }
 
 // Done checkpoints a completed cell with its JSON-encoded result. worker
-// attributes the cell to a fabric worker ("" for local campaigns).
-func (j *Journal) Done(key string, attempts int, result any, worker string) {
+// attributes the cell to a fabric worker and digest carries the result's
+// attestation digest ("" for both on local campaigns).
+func (j *Journal) Done(key string, attempts int, result any, worker, digest string) {
 	if j == nil {
 		return
 	}
@@ -170,7 +179,7 @@ func (j *Journal) Done(key string, attempts int, result any, worker string) {
 	if err != nil {
 		return
 	}
-	j.Append(Record{Kind: KindCell, Key: key, Status: StatusDone, Attempts: attempts, Result: raw, Worker: worker})
+	j.Append(Record{Kind: KindCell, Key: key, Status: StatusDone, Attempts: attempts, Result: raw, Worker: worker, Digest: digest})
 }
 
 // Failed checkpoints a cell that exhausted its attempts.

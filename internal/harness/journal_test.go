@@ -22,7 +22,7 @@ func writeJournal(t *testing.T, n int) (string, []byte) {
 		t.Fatal(err)
 	}
 	for i := 0; i < n; i++ {
-		j.Done(fmt.Sprintf("cell-%02d", i), 1, i*10, "")
+		j.Done(fmt.Sprintf("cell-%02d", i), 1, i*10, "", "")
 	}
 	j.Close()
 	b, err := os.ReadFile(path)
@@ -173,14 +173,14 @@ func TestJournalRawResultRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j.Done("k", 1, json.RawMessage(`{"ipc":1.25}`), "w1")
+	j.Done("k", 1, json.RawMessage(`{"ipc":1.25}`), "w1", "sha256:feed")
 	j.Close()
 	recs, _, err := LoadJournal(path, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	rec := recs["k"]
-	if rec == nil || string(rec.Result) != `{"ipc":1.25}` || rec.Worker != "w1" {
+	if rec == nil || string(rec.Result) != `{"ipc":1.25}` || rec.Worker != "w1" || rec.Digest != "sha256:feed" {
 		t.Fatalf("bad round trip: %+v", rec)
 	}
 }

@@ -179,6 +179,16 @@ func (r *Registry) GaugeFunc(name, help string, f func() float64) {
 	r.register(name, help, func(m *metric) { m.gaugeFunc = f })
 }
 
+// LabeledCounter returns (registering on first use) a counter rendered with
+// a Prometheus label set, e.g. LabeledCounter("mtvp_fleet_corrupt_total",
+// `worker="w1"`, ...) exports `mtvp_fleet_corrupt_total{worker="w1"} 3`.
+// Series sharing a metric name render as one family under a single
+// HELP/TYPE header; the fabric coordinator uses this for per-worker
+// attestation-failure counts.
+func (r *Registry) LabeledCounter(name, labels, help string) *Counter {
+	return r.registerLabeled(name, labels, help, func(m *metric) { m.counter = &Counter{} }).counter
+}
+
 // LabeledGaugeFunc registers a scrape-time gauge rendered with a Prometheus
 // label set, e.g. LabeledGaugeFunc("mtvp_fleet_leases", `worker="w1"`, ...)
 // exports `mtvp_fleet_leases{worker="w1"} 2`. Series sharing a metric name
