@@ -49,6 +49,7 @@ import (
 	"mtvp/internal/hostperf"
 	"mtvp/internal/stats"
 	"mtvp/internal/telemetry"
+	"mtvp/internal/version"
 	"mtvp/internal/workload"
 )
 
@@ -101,8 +102,13 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the host process to FILE")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to FILE")
 		hostJSON = flag.String("hostperf", "", "write a machine-readable host-performance record (JSON: sim Mcycles/sec, Minsts/sec, allocs and wall time per campaign cell) to FILE")
+		showVer  = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		version.Print(os.Stdout, "mtvpbench")
+		return
+	}
 
 	stop, err := hostperf.StartProfiles(*cpuProf, *memProf)
 	if err != nil {
@@ -155,6 +161,7 @@ func main() {
 	}
 	if *metrics != "" {
 		reg := telemetry.NewRegistry()
+		version.Register(reg)
 		campaign := telemetry.NewCampaign(reg)
 		srv, err := telemetry.NewServer(*metrics, reg)
 		if err != nil {
@@ -266,7 +273,7 @@ func main() {
 		}
 	}
 	if opt.Summary.Total > 0 {
-		fmt.Println(opt.Summary.Table())
+		opt.Summary.Render(os.Stdout)
 	}
 }
 
@@ -290,7 +297,7 @@ func exit(name string, err error, sum *harness.Summary) {
 	flushHostArtifacts()
 	fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 	if sum != nil && sum.Total > 0 {
-		fmt.Fprintln(os.Stderr, sum.Table())
+		sum.Render(os.Stderr)
 	}
 	var failed *harness.FailedError
 	var interrupted *harness.InterruptedError

@@ -51,17 +51,20 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"sort"
 	"strings"
 	"syscall"
+	"text/tabwriter"
 	"time"
 
 	"mtvp/internal/experiments"
 	"mtvp/internal/fabric"
 	"mtvp/internal/fabric/chaos"
 	"mtvp/internal/telemetry"
+	"mtvp/internal/version"
 )
 
 func main() {
@@ -75,6 +78,10 @@ func main() {
 		code = serveCmd(os.Args[2:])
 	case "work":
 		code = workCmd(os.Args[2:])
+	case "tail":
+		code = tailCmd(os.Args[2:])
+	case "-version", "--version", "version":
+		version.Print(os.Stdout, "mtvpd")
 	case "-h", "-help", "--help", "help":
 		usage(os.Stdout)
 	default:
@@ -91,8 +98,9 @@ func usage(w *os.File) {
 Subcommands:
   serve   run the campaign coordinator
   work    run a worker agent attached to a coordinator
+  tail    straggler analytics for a campaign (slowest workers and cells)
 
-Run "mtvpd <subcommand> -h" for flags.`)
+Run "mtvpd <subcommand> -h" for flags; "mtvpd -version" prints the build.`)
 }
 
 // signalCtx returns a context cancelled by the first SIGINT/SIGTERM; a
@@ -138,6 +146,7 @@ func serveCmd(args []string) int {
 		logf = func(string, ...any) {}
 	}
 	reg := telemetry.NewRegistry()
+	version.Register(reg)
 	co, err := fabric.NewCoordinator(fabric.CoordinatorConfig{
 		LeaseTTL:              *leaseTTL,
 		Retries:               *retries,
@@ -188,6 +197,7 @@ func workCmd(args []string) int {
 		chaosProf   = fs.String("chaos", "", "inject seeded network faults between this agent and the coordinator via an in-process chaos proxy: "+chaosNames()+" (\"\" disables)")
 		chaosSeed   = fs.Uint64("chaos-seed", 1, "seed for the -chaos fault schedule (same seed + profile + traffic = same faults)")
 		byzantine   = fs.Bool("byzantine", false, "TESTING AID: corrupt every result payload after attesting it, exercising the coordinator's rejection and quarantine paths")
+		drag        = fs.Duration("drag", 0, "TESTING AID: slow every cell by this much, making this agent a deliberate straggler for the fleet analytics to catch (0 = off)")
 		quiet       = fs.Bool("quiet", false, "suppress agent event logging on stderr")
 	)
 	fs.Parse(args)
@@ -225,6 +235,23 @@ func workCmd(args []string) int {
 			return json.RawMessage(`{"byzantine":true}`)
 		}
 	}
+	run := fabric.RunFunc(experiments.RunSpec)
+	if *drag > 0 {
+		logf("mtvpd: DRAG MODE: every cell slowed by %s (deliberate straggler)", *drag)
+		d, inner := *drag, run
+		run = func(ctx context.Context, spec fabric.JobSpec, progress func(uint64, uint64)) (json.RawMessage, error) {
+			res, err := inner(ctx, spec, progress)
+			if err != nil {
+				return nil, err
+			}
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(d):
+			}
+			return res, nil
+		}
+	}
 	err := fabric.RunWorker(ctx, fabric.WorkerConfig{
 		Coordinator:   target,
 		Token:         *token,
@@ -233,7 +260,7 @@ func workCmd(args []string) int {
 		Poll:          *poll,
 		ReportTimeout: *reportTO,
 		JitterSeed:    *jitterSeed,
-		Run:           experiments.RunSpec,
+		Run:           run,
 		Tamper:        tamper,
 		Logf:          logf,
 	})
@@ -242,6 +269,114 @@ func workCmd(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// tailCmd prints a campaign's straggler analytics: per-worker latency
+// profile with relative slowdown, the slowest cells with their span
+// breakdowns, and the campaign's aggregate simulated progress. The campaign
+// may be named by ID, unique ID prefix, or campaign name.
+func tailCmd(args []string) int {
+	fs := flag.NewFlagSet("mtvpd tail", flag.ExitOnError)
+	var (
+		coordinator = fs.String("coordinator", "http://127.0.0.1:8100", "coordinator base URL")
+		token       = fs.String("token", "", "bearer token for the coordinator")
+		k           = fs.Int("k", 10, "how many tail (slowest) cells to list")
+		traceOut    = fs.String("trace-out", "", "also save the campaign's Chrome/Perfetto trace JSON to this file (load in ui.perfetto.dev)")
+	)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mtvpd tail [flags] <campaign-id | id-prefix | campaign-name>")
+		return 2
+	}
+	ctx, cancel := signalCtx(stderrLogf)
+	defer cancel()
+	cl := fabric.NewClient(*coordinator, *token)
+	id, err := resolveCampaign(ctx, cl, fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtvpd:", err)
+		return 1
+	}
+	tl, err := cl.Timeline(ctx, id, *k)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtvpd:", err)
+		return 1
+	}
+	printTimeline(os.Stdout, tl)
+	if *traceOut != "" {
+		b, err := cl.TraceJSON(ctx, id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mtvpd:", err)
+			return 1
+		}
+		if err := os.WriteFile(*traceOut, b, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "mtvpd:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "mtvpd: trace written to %s (%d bytes; load in ui.perfetto.dev)\n", *traceOut, len(b))
+	}
+	return 0
+}
+
+// resolveCampaign turns an ID, unique ID prefix, or campaign name into a
+// campaign ID.
+func resolveCampaign(ctx context.Context, cl *fabric.Client, arg string) (string, error) {
+	if _, err := cl.Status(ctx, arg); err == nil {
+		return arg, nil
+	}
+	list, err := cl.List(ctx)
+	if err != nil {
+		return "", err
+	}
+	var matches []string
+	for _, st := range list {
+		if strings.HasPrefix(st.ID, arg) || st.Name == arg {
+			matches = append(matches, st.ID)
+		}
+	}
+	switch len(matches) {
+	case 1:
+		return matches[0], nil
+	case 0:
+		return "", fmt.Errorf("no campaign matches %q (%d campaigns listed)", arg, len(list))
+	default:
+		return "", fmt.Errorf("%q is ambiguous: matches %d campaigns %v", arg, len(matches), matches)
+	}
+}
+
+// printTimeline renders the straggler report for a terminal.
+func printTimeline(w io.Writer, tl fabric.CampaignTimeline) {
+	rep := tl.Report
+	fmt.Fprintf(w, "campaign %s (%s) — %s\n", tl.ID, tl.Name, tl.State)
+	fmt.Fprintf(w, "cells %d   fleet lease p50 %.1fms  p99 %.1fms  mean %.1fms\n",
+		rep.Cells, rep.FleetP50MS, rep.FleetP99MS, rep.FleetMeanMS)
+	fmt.Fprintf(w, "sim progress: %d cycles, %d commits (rate %.0f cycles/s)\n",
+		tl.SimCycles, tl.SimCommits, tl.CycleRate)
+	if tl.Dropped > 0 {
+		fmt.Fprintf(w, "NOTE: %d spans dropped at the store bound (journal keeps the durable copy)\n", tl.Dropped)
+	}
+	if len(rep.Workers) > 0 {
+		fmt.Fprintln(w)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "WORKER\tCELLS\tP50(ms)\tP99(ms)\tMEAN(ms)\tSLOWDOWN")
+		for _, ws := range rep.Workers {
+			fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.1f\t%.1f\t%.2fx\n",
+				ws.Name, ws.Cells, ws.P50MS, ws.P99MS, ws.MeanMS, ws.Slowdown)
+		}
+		tw.Flush()
+		if slowest := rep.Slowest(); slowest != "" {
+			fmt.Fprintf(w, "slowest worker: %s\n", slowest)
+		}
+	}
+	if len(rep.Tail) > 0 {
+		fmt.Fprintln(w)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "TAIL CELL\tWORKER\tTOTAL(ms)\tQUEUE\tLEASE\tEXEC\tREPORT\tATTEMPTS\tREQUEUES")
+		for _, c := range rep.Tail {
+			fmt.Fprintf(tw, "%s\t%s\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%d\t%d\n",
+				c.Key, c.Worker, c.TotalMS, c.QueueMS, c.LeaseMS, c.ExecMS, c.ReportMS, c.Attempts, c.Requeues)
+		}
+		tw.Flush()
+	}
 }
 
 // chaosNames lists the built-in chaos profiles for flag help.

@@ -25,6 +25,7 @@ import (
 
 	"mtvp/internal/experiments"
 	"mtvp/internal/harness"
+	"mtvp/internal/version"
 )
 
 func main() {
@@ -40,8 +41,13 @@ func main() {
 		resume  = flag.String("resume", "", "resume from this journal: skip done cells, re-run failures")
 		coord   = flag.String("coordinator", "", "run campaigns on this sweep-fabric coordinator (base URL of `mtvpd serve`; \"\" = local worker pool)")
 		token   = flag.String("token", "", "bearer token for the fabric coordinator")
+		showVer = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		version.Print(os.Stdout, "mtvpreport")
+		return
+	}
 
 	opt := experiments.DefaultOptions()
 	opt.Insts = *insts
@@ -73,7 +79,7 @@ func main() {
 	if err := experiments.GenerateReport(opt, w); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		if opt.Summary.Total > 0 {
-			fmt.Fprintln(os.Stderr, opt.Summary.Table())
+			opt.Summary.Render(os.Stderr)
 		}
 		var failed *harness.FailedError
 		var interrupted *harness.InterruptedError
@@ -91,6 +97,6 @@ func main() {
 		os.Exit(1)
 	}
 	if opt.Summary.Total > 0 {
-		fmt.Fprintln(os.Stderr, opt.Summary.Table())
+		opt.Summary.Render(os.Stderr)
 	}
 }

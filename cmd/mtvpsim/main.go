@@ -35,6 +35,7 @@ import (
 	"mtvp/internal/oracle"
 	"mtvp/internal/telemetry"
 	"mtvp/internal/trace"
+	"mtvp/internal/version"
 	"mtvp/internal/workload"
 )
 
@@ -97,9 +98,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seriesN   = fs.Int64("series-every", telemetry.DefaultSampleEvery, "time-series bucket width in cycles")
 		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the host process to FILE")
 		memProf   = fs.String("memprofile", "", "write a pprof heap profile at exit to FILE")
+		showVer   = fs.Bool("version", false, "print the build version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitErr
+	}
+	if *showVer {
+		version.Print(stdout, "mtvpsim")
+		return exitOK
 	}
 
 	stopProfiles, err := hostperf.StartProfiles(*cpuProf, *memProf)

@@ -88,11 +88,20 @@ func TestCorruptResultsQuarantineWorkerWithoutBudget(t *testing.T) {
 		"mtvp_fabric_results_corrupt_total 2",
 		"mtvp_fabric_quarantines_total 1",
 		"mtvp_fabric_workers_quarantined 1",
-		`mtvp_fleet_trust{worker="evil"} 2`,
-		`mtvp_fleet_corrupt_results_total{worker="evil"} 2`,
 	} {
 		if !strings.Contains(b.String(), want) {
 			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// A disabled worker's per-worker gauges come off the /metrics surface
+	// (the aggregate quarantined gauge keeps counting it); they return only
+	// if its trust decays back below disabled.
+	for _, gone := range []string{
+		`mtvp_fleet_trust{worker="evil"}`,
+		`mtvp_fleet_corrupt_results_total{worker="evil"}`,
+	} {
+		if strings.Contains(b.String(), gone) {
+			t.Errorf("metrics still expose %q after quarantine", gone)
 		}
 	}
 
@@ -429,7 +438,16 @@ func TestReloadReverifiesJournaledDigests(t *testing.T) {
 	var rec struct {
 		Digest string `json:"digest"`
 	}
-	line := tampered[strings.LastIndex(strings.TrimSpace(tampered), "\n")+1:]
+	var line string
+	for _, l := range strings.Split(strings.TrimSpace(tampered), "\n") {
+		if strings.Contains(l, `"kind":"cell"`) {
+			line = l
+			break
+		}
+	}
+	if line == "" {
+		t.Fatal("test bug: no cell record in journal")
+	}
 	if err := json.Unmarshal([]byte(line), &rec); err != nil {
 		t.Fatal(err)
 	}
@@ -541,13 +559,11 @@ func TestByzantineFleetUnderChaosByteIdentical(t *testing.T) {
 	}
 	var b strings.Builder
 	reg.WritePrometheus(&b)
-	for _, want := range []string{
-		"mtvp_fabric_workers_quarantined 1",
-		`mtvp_fleet_trust{worker="byzantine"} 2`,
-	} {
-		if !strings.Contains(b.String(), want) {
-			t.Errorf("metrics missing %q", want)
-		}
+	if !strings.Contains(b.String(), "mtvp_fabric_workers_quarantined 1") {
+		t.Error("metrics missing mtvp_fabric_workers_quarantined 1")
+	}
+	if strings.Contains(b.String(), `mtvp_fleet_trust{worker="byzantine"}`) {
+		t.Error("quarantined worker's per-worker gauges must be unregistered")
 	}
 
 	// Not one corrupted payload reached the journal.

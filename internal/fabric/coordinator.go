@@ -15,6 +15,7 @@ import (
 
 	"mtvp/internal/fault"
 	"mtvp/internal/harness"
+	"mtvp/internal/obs"
 	"mtvp/internal/telemetry"
 )
 
@@ -166,31 +167,49 @@ type leaseInfo struct {
 	lastCycles uint64    // last heartbeat's cycle count (rate derivation)
 	lastBeatAt time.Time // last heartbeat wall time
 	everBeaten bool
+
+	// Observability: the lease's span identity and attempt ordinal, the
+	// grant instant (span start + straggler duration base), the highest
+	// heartbeat Seq whose deltas were folded (duplicate-request dedup), and
+	// the absolute progress folded so far (lost-ack overlap clamp).
+	attempt       int
+	spanID        string
+	granted       time.Time
+	lastSeq       uint64
+	foldedCycles  uint64
+	foldedCommits uint64
 }
 
 // vote is one worker's attested result for a cell.
 type vote struct {
-	worker string
-	digest string
-	result json.RawMessage
+	worker  string
+	digest  string
+	result  json.RawMessage
+	attempt int // the lease attempt that produced the vote (0: unknown/late)
 }
 
 // job is one cell's coordinator-side state. A cell may hold several leases
 // at once under -verify k; votes accumulate until one digest reaches a
 // majority of needVotes.
 type job struct {
-	spec      JobSpec
-	state     jobState
-	leases    map[string]*leaseInfo
-	queued    bool // currently listed in the campaign queue
-	attempts  int
-	budget    *fault.Backoff // requeue budget (worker loss, failures, quorum widening)
-	needVotes int            // distinct attestations wanted (1 = trust the first)
-	votes     []vote
+	spec       JobSpec
+	state      jobState
+	leases     map[string]*leaseInfo
+	queued     bool // currently listed in the campaign queue
+	attempts   int
+	budget     *fault.Backoff // requeue budget (worker loss, failures, quorum widening)
+	needVotes  int            // distinct attestations wanted (1 = trust the first)
+	votes      []vote
 	spotRolled bool // the spot-check dice has been consumed for this cell
-	result    json.RawMessage
-	digest    string
-	failure   *harness.JobFailure
+	result     json.RawMessage
+	digest     string
+	failure    *harness.JobFailure
+
+	// Observability: the cell's trace ID, its currently-open queue span
+	// (ID, "" when none), and whether the verify span has been opened.
+	trace      string
+	openQueue  string
+	verifyOpen bool
 }
 
 // voted reports whether worker already cast a vote for this cell.
@@ -218,6 +237,14 @@ type campaign struct {
 	requeues    int
 	corrupt     int
 	spotChecks  int
+
+	// Observability: the bounded span store, the heartbeat-delta progress
+	// accumulators, the aggregate cycle-rate EWMA, and its time series.
+	trace      *obs.Trace
+	simCycles  uint64
+	simCommits uint64
+	cycleRate  float64
+	rateSeries *obs.Series
 }
 
 func (c *campaign) state() CampaignState {
@@ -241,9 +268,14 @@ type workerInfo struct {
 	done      uint64
 	failed    uint64
 	lost      uint64
-	corrupt   uint64 // attestation-digest rejections
-	outvoted  uint64 // verification quorums lost
+	corrupt   uint64  // attestation-digest rejections
+	outvoted  uint64  // verification quorums lost
 	cycleRate float64 // EWMA cycles/sec
+
+	// Straggler analytics: the durations of the worker's closed lease spans
+	// (milliseconds) and its last heartbeat-reported live heap.
+	durations *obs.Digest
+	heapMB    float64
 
 	// quar is the fleet-level trust state machine (fault.Quarantine with
 	// fleetTuning): healthy → clamped (results need corroboration) →
@@ -288,6 +320,8 @@ type fleetMetrics struct {
 	jobsQueued    *telemetry.Gauge
 	jobsLeased    *telemetry.Gauge
 	quarantined   *telemetry.Gauge
+	simCycles     *telemetry.Counter
+	simCommits    *telemetry.Counter
 }
 
 // NewCoordinator builds a coordinator and, when JournalDir is set, reloads
@@ -321,6 +355,8 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 			jobsQueued:    reg.Gauge("mtvp_fabric_jobs_queued", "cells waiting for a lease across all campaigns"),
 			jobsLeased:    reg.Gauge("mtvp_fabric_jobs_leased", "cell leases currently active across all campaigns"),
 			quarantined:   reg.Gauge("mtvp_fabric_workers_quarantined", "workers currently disabled by the fleet trust quarantine"),
+			simCycles:     reg.Counter("mtvp_fabric_sim_cycles_total", "simulated cycles accumulated from worker heartbeat deltas"),
+			simCommits:    reg.Counter("mtvp_fabric_sim_commits_total", "useful committed instructions accumulated from worker heartbeat deltas"),
 		}
 	}
 	if cfg.JournalDir != "" {
@@ -392,7 +428,7 @@ func (co *Coordinator) Submit(spec CampaignSpec) (SubmitResponse, error) {
 		co.logf("campaign %q shed by admission control: %v", spec.Name, err)
 		return SubmitResponse{}, err
 	}
-	c, err := co.installLocked(id, spec, nil)
+	c, err := co.installLocked(id, spec, nil, nil)
 	if err != nil {
 		return SubmitResponse{}, err
 	}
@@ -444,13 +480,19 @@ func (co *Coordinator) admitLocked(spec CampaignSpec) error {
 }
 
 // installLocked builds the campaign state from a spec plus (on reload) the
-// journaled records, opens its journal, and queues the unfinished cells.
-func (co *Coordinator) installLocked(id string, spec CampaignSpec, prior map[string]*harness.Record) (*campaign, error) {
+// journaled records and span timelines, opens its journal, and queues the
+// unfinished cells. Every cell gets its deterministic trace identity here;
+// unfinished cells open their root and first queue spans, finished cells
+// seed their journaled spans so crash-resume keeps the timeline.
+func (co *Coordinator) installLocked(id string, spec CampaignSpec, prior map[string]*harness.Record, priorSpans map[string][]obs.Span) (*campaign, error) {
+	now := co.now()
 	c := &campaign{
 		id:          id,
 		name:        spec.Name,
 		fingerprint: spec.Fingerprint,
 		jobs:        map[string]*job{},
+		trace:       obs.NewTrace(id, obs.DefaultSpanLimit(len(spec.Jobs))),
+		rateSeries:  obs.NewSeries("cycle_rate", 0),
 	}
 	for _, s := range spec.Jobs {
 		j := &job{
@@ -458,6 +500,7 @@ func (co *Coordinator) installLocked(id string, spec CampaignSpec, prior map[str
 			leases:    map[string]*leaseInfo{},
 			budget:    fault.NewBackoff(co.cfg.retries(), 64),
 			needVotes: co.cfg.verifyK(),
+			trace:     obs.TraceID(id, s.Key),
 		}
 		if rec := prior[s.Key]; rec != nil && rec.Status == harness.StatusDone && len(rec.Result) > 0 &&
 			co.reverifyLocked(id, s, rec) {
@@ -466,9 +509,11 @@ func (co *Coordinator) installLocked(id string, spec CampaignSpec, prior map[str
 			j.result = append(json.RawMessage(nil), rec.Result...)
 			j.digest = rec.Digest
 			c.done++
+			c.trace.Seed(priorSpans[s.Key])
 		} else {
 			c.queue = append(c.queue, s.Key)
 			j.queued = true
+			co.openCellSpansLocked(c, j, now)
 		}
 		c.jobs[s.Key] = j
 		c.order = append(c.order, s.Key)
@@ -482,7 +527,43 @@ func (co *Coordinator) installLocked(id string, spec CampaignSpec, prior map[str
 	}
 	co.campaigns[id] = c
 	co.order = append(co.order, id)
+	co.registerCampaignGauges(c)
 	return c, nil
+}
+
+// openCellSpansLocked opens an unfinished cell's root span and its first
+// queue span.
+func (co *Coordinator) openCellSpansLocked(c *campaign, j *job, now time.Time) {
+	root := obs.SpanID(j.trace, obs.KindCell, 0)
+	c.trace.Start(obs.Span{
+		Trace: j.trace, ID: root, Kind: obs.KindCell, Key: j.spec.Key, Start: now,
+	})
+	j.openQueue = obs.SpanID(j.trace, obs.KindQueue, j.attempts+1)
+	c.trace.Start(obs.Span{
+		Trace: j.trace, ID: j.openQueue, Parent: root, Kind: obs.KindQueue,
+		Key: j.spec.Key, Attempt: j.attempts + 1, Start: now,
+	})
+}
+
+// registerCampaignGauges exports the campaign's aggregate cycle rate as a
+// labeled gauge (0 once the campaign leaves the running state).
+func (co *Coordinator) registerCampaignGauges(c *campaign) {
+	if co.metrics == nil {
+		return
+	}
+	id := c.id
+	co.metrics.reg.LabeledGaugeFunc("mtvp_fleet_campaign_cycle_rate",
+		fmt.Sprintf("campaign=%q,id=%q", c.name, id),
+		"campaign aggregate simulated-cycle rate (cycles/sec, EWMA over heartbeat deltas)",
+		func() float64 {
+			co.mu.Lock()
+			defer co.mu.Unlock()
+			c := co.campaigns[id]
+			if c == nil || c.state() != StateRunning {
+				return 0
+			}
+			return c.cycleRate
+		})
 }
 
 // reverifyLocked re-checks a journaled record's attestation digest on
@@ -547,14 +628,14 @@ func (co *Coordinator) reload() error {
 		if err := json.Unmarshal(b, &spec); err != nil {
 			return fmt.Errorf("fabric: reload %s: corrupt spec: %w", n, err)
 		}
-		prior, warns, err := harness.LoadJournal(co.journalPath(id), spec.Fingerprint)
+		prior, priorSpans, warns, err := harness.LoadJournalFull(co.journalPath(id), spec.Fingerprint)
 		if err != nil {
 			return fmt.Errorf("fabric: reload %s: %w", n, err)
 		}
 		for _, w := range warns {
 			co.logf("%s", w)
 		}
-		c, err := co.installLocked(id, spec, prior)
+		c, err := co.installLocked(id, spec, prior, priorSpans)
 		if err != nil {
 			return err
 		}
@@ -582,11 +663,20 @@ func (co *Coordinator) wantingLocked(j *job) int {
 }
 
 // enqueueLocked lists a cell in its campaign queue if it wants more leases
-// and is not already listed.
+// and is not already listed, opening a queue span for the new wait.
 func (co *Coordinator) enqueueLocked(c *campaign, j *job, key string) {
 	if j.state == jobPending && !j.queued && co.wantingLocked(j) > 0 {
 		c.queue = append(c.queue, key)
 		j.queued = true
+		if j.openQueue == "" {
+			j.openQueue = obs.SpanID(j.trace, obs.KindQueue, j.attempts+1)
+			c.trace.Start(obs.Span{
+				Trace: j.trace, ID: j.openQueue,
+				Parent: obs.SpanID(j.trace, obs.KindCell, 0),
+				Kind:   obs.KindQueue, Key: key, Attempt: j.attempts + 1,
+				Start: co.now(),
+			})
+		}
 	}
 }
 
@@ -636,11 +726,27 @@ func (co *Coordinator) Lease(worker string) (Lease, bool) {
 			continue
 		}
 		co.rr = (co.rr + i + 1) % len(co.order)
+		j.attempts++
+		// Spans: the wait is over — close the open queue span and open the
+		// lease span for this attempt, parented under the cell root.
+		if j.openQueue != "" {
+			c.trace.End(j.openQueue, now, obs.StatusOK)
+			j.openQueue = ""
+		}
+		spanID := obs.SpanID(j.trace, obs.KindLease, j.attempts)
+		c.trace.Start(obs.Span{
+			Trace: j.trace, ID: spanID,
+			Parent: obs.SpanID(j.trace, obs.KindCell, 0),
+			Kind:   obs.KindLease, Key: key, Worker: worker,
+			Attempt: j.attempts, Start: now,
+		})
 		j.leases[worker] = &leaseInfo{
 			expiry:     now.Add(co.cfg.leaseTTL()),
 			lastBeatAt: now,
+			attempt:    j.attempts,
+			spanID:     spanID,
+			granted:    now,
 		}
-		j.attempts++
 		if co.wantingLocked(j) <= 0 {
 			co.dequeueLocked(c, j, key)
 		}
@@ -654,6 +760,9 @@ func (co *Coordinator) Lease(worker string) (Lease, bool) {
 			Spec:           j.spec,
 			TTL:            co.cfg.leaseTTL(),
 			HeartbeatEvery: co.cfg.leaseTTL() / 3,
+			Trace:          j.trace,
+			Span:           spanID,
+			Attempt:        j.attempts,
 		}, true
 	}
 	return Lease{}, false
@@ -714,13 +823,65 @@ func (co *Coordinator) Heartbeat(req HeartbeatRequest) bool {
 		return false
 	}
 	li.expiry = now.Add(co.cfg.leaseTTL())
-	// Cycle rate: EWMA over heartbeat deltas.
-	if dt := now.Sub(li.lastBeatAt).Seconds(); dt > 0 && li.everBeaten && req.Cycles >= li.lastCycles {
-		inst := float64(req.Cycles-li.lastCycles) / dt
-		if w.cycleRate == 0 {
-			w.cycleRate = inst
-		} else {
-			w.cycleRate = 0.75*w.cycleRate + 0.25*inst
+	if req.HeapMB > 0 {
+		w.heapMB = req.HeapMB
+	}
+	dt := now.Sub(li.lastBeatAt).Seconds()
+	switch {
+	case req.Seq != 0 && req.Seq <= li.lastSeq:
+		// Duplicate delivery (retry, chaos proxy): the lease extends but the
+		// deltas were already folded — folding again would double-count.
+	case req.Seq != 0:
+		// Delta protocol: fold the simulated progress accumulated since the
+		// last *acked* heartbeat into the campaign and fleet accumulators,
+		// exactly once per Seq. A lost ack makes the worker re-send an
+		// overlapping delta under a fresh Seq; clamping against the absolute
+		// counters (monotonic within a lease) keeps the fold exact.
+		li.lastSeq = req.Seq
+		dc, dm := req.DCycles, req.DCommits
+		if req.Cycles >= li.foldedCycles && dc > req.Cycles-li.foldedCycles {
+			dc = req.Cycles - li.foldedCycles
+		}
+		if req.Commits >= li.foldedCommits && dm > req.Commits-li.foldedCommits {
+			dm = req.Commits - li.foldedCommits
+		}
+		li.foldedCycles += dc
+		li.foldedCommits += dm
+		c.simCycles += dc
+		c.simCommits += dm
+		if co.metrics != nil {
+			co.metrics.simCycles.Add(dc)
+			co.metrics.simCommits.Add(dm)
+		}
+		if li.spanID != "" && (dc > 0 || dm > 0) {
+			c.trace.Update(li.spanID, func(s *obs.Span) {
+				s.Cycles += dc
+				s.Commits += dm
+			})
+		}
+		if dt > 0 && li.everBeaten {
+			inst := float64(dc) / dt
+			if w.cycleRate == 0 {
+				w.cycleRate = inst
+			} else {
+				w.cycleRate = 0.75*w.cycleRate + 0.25*inst
+			}
+			if c.cycleRate == 0 {
+				c.cycleRate = inst
+			} else {
+				c.cycleRate = 0.75*c.cycleRate + 0.25*inst
+			}
+			c.rateSeries.Add(now, c.cycleRate)
+		}
+	default:
+		// Legacy worker (no Seq): derive the rate from absolute counters.
+		if dt > 0 && li.everBeaten && req.Cycles >= li.lastCycles {
+			inst := float64(req.Cycles-li.lastCycles) / dt
+			if w.cycleRate == 0 {
+				w.cycleRate = inst
+			} else {
+				w.cycleRate = 0.75*w.cycleRate + 0.25*inst
+			}
 		}
 	}
 	li.lastCycles = req.Cycles
@@ -743,6 +904,40 @@ func (co *Coordinator) dropLeaseLocked(j *job, worker string) bool {
 		w.leases--
 	}
 	return true
+}
+
+// revokeLeaseLocked is dropLeaseLocked plus observability: it closes the
+// lease's span with the revocation's status and note and feeds the lease
+// duration into the worker's straggler digest. Every lease-ending path goes
+// through here except campaign cancellation (EndOpen closes those spans
+// wholesale).
+func (co *Coordinator) revokeLeaseLocked(c *campaign, j *job, worker, status, note string) bool {
+	li := j.leases[worker]
+	if li == nil {
+		return false
+	}
+	now := co.now()
+	if li.spanID != "" {
+		c.trace.Update(li.spanID, func(s *obs.Span) {
+			if !s.End.IsZero() {
+				return
+			}
+			s.End = now
+			s.Status = status
+			if note != "" {
+				s.Note = note
+			}
+		})
+		if d := now.Sub(li.granted); d > 0 {
+			if w := co.workers[worker]; w != nil {
+				if w.durations == nil {
+					w.durations = obs.NewDigest(1024)
+				}
+				w.durations.Add(float64(d) / float64(time.Millisecond))
+			}
+		}
+	}
+	return co.dropLeaseLocked(j, worker)
 }
 
 // Result records a cell's terminal outcome. Successful results must carry
@@ -770,7 +965,7 @@ func (co *Coordinator) Result(req ResultRequest) (ResultResponse, error) {
 	}
 	if req.Released {
 		// Voluntary handback (draining worker): requeue at no budget cost.
-		if j.state == jobPending && co.dropLeaseLocked(j, req.Worker) {
+		if j.state == jobPending && co.revokeLeaseLocked(c, j, req.Worker, obs.StatusReleased, "released by draining worker") {
 			co.enqueueLocked(c, j, req.Key)
 			c.requeues++
 			if co.metrics != nil {
@@ -791,7 +986,7 @@ func (co *Coordinator) Result(req ResultRequest) (ResultResponse, error) {
 	// Failures are only accepted from a current lease holder: a stale
 	// report from an expired lease must not spend the budget of — or
 	// double-requeue — a cell another worker now owns.
-	if j.state != jobPending || !co.dropLeaseLocked(j, req.Worker) {
+	if j.state != jobPending || !co.revokeLeaseLocked(c, j, req.Worker, obs.StatusError, req.Error) {
 		return ResultResponse{Accepted: false}, nil
 	}
 	kind := req.FailKind
@@ -836,7 +1031,7 @@ func (co *Coordinator) voteLocked(c *campaign, j *job, w *workerInfo, req Result
 		}
 		co.logf("campaign %s: CORRUPT result for %s from %q (digest %.24q, want %.24q)",
 			c.id, req.Key, req.Worker, req.Digest, want)
-		if co.dropLeaseLocked(j, req.Worker) {
+		if co.revokeLeaseLocked(c, j, req.Worker, obs.StatusCorrupt, "attestation digest mismatch") {
 			co.enqueueLocked(c, j, req.Key)
 			c.requeues++
 			if co.metrics != nil {
@@ -868,11 +1063,65 @@ func (co *Coordinator) voteLocked(c *campaign, j *job, w *workerInfo, req Result
 		return ResultResponse{Accepted: false}
 	}
 
-	co.dropLeaseLocked(j, req.Worker)
+	// Spans: stitch the worker's execution under the coordinator's lease
+	// span (flow across the process boundary), record the report delivery as
+	// an instant, and close the lease. A late report whose lease already
+	// expired gets no execute span — its lease timeline ended at expiry.
+	now := co.now()
+	attempt := 0
+	if li := j.leases[req.Worker]; li != nil {
+		attempt = li.attempt
+		start := li.granted
+		var cyc, com uint64
+		if req.Exec != nil {
+			// The worker reports its own wall duration; clamp the span into
+			// the lease window so a skewed worker clock cannot place the
+			// execution before its grant.
+			if d := time.Duration(req.Exec.DurMS * float64(time.Millisecond)); d > 0 {
+				if s := now.Add(-d); s.After(start) {
+					start = s
+				}
+			}
+			cyc, com = req.Exec.Cycles, req.Exec.Commits
+			// Fold the residual progress the heartbeats never carried (a
+			// cell faster than the beat interval heartbeats zero times);
+			// the fold stays exactly-once through the same clamp the
+			// delta protocol uses.
+			if dc := cyc - li.foldedCycles; cyc >= li.foldedCycles && dc > 0 {
+				li.foldedCycles = cyc
+				c.simCycles += dc
+				if co.metrics != nil {
+					co.metrics.simCycles.Add(dc)
+				}
+			}
+			if dm := com - li.foldedCommits; com >= li.foldedCommits && dm > 0 {
+				li.foldedCommits = com
+				c.simCommits += dm
+				if co.metrics != nil {
+					co.metrics.simCommits.Add(dm)
+				}
+			}
+		}
+		c.trace.Start(obs.Span{
+			Trace: j.trace, ID: obs.SpanID(j.trace, obs.KindExecute, attempt),
+			Parent: li.spanID, Kind: obs.KindExecute, Key: req.Key,
+			Worker: req.Worker, Attempt: attempt,
+			Start: start, End: now, Status: obs.StatusOK,
+			Cycles: cyc, Commits: com,
+		})
+		c.trace.Start(obs.Span{
+			Trace: j.trace, ID: obs.SpanID(j.trace, obs.KindReport, attempt),
+			Parent: li.spanID, Kind: obs.KindReport, Key: req.Key,
+			Worker: req.Worker, Attempt: attempt,
+			Start: now, End: now, Status: obs.StatusOK,
+		})
+	}
+	co.revokeLeaseLocked(c, j, req.Worker, obs.StatusOK, "")
 	j.votes = append(j.votes, vote{
-		worker: req.Worker,
-		digest: req.Digest,
-		result: append(json.RawMessage(nil), req.Result...),
+		worker:  req.Worker,
+		digest:  req.Digest,
+		result:  append(json.RawMessage(nil), req.Result...),
+		attempt: attempt,
 	})
 	// A clamped (suspect) worker's solo word is not enough: raise the
 	// cell's bar to two agreeing votes.
@@ -892,6 +1141,27 @@ func (co *Coordinator) voteLocked(c *campaign, j *job, w *workerInfo, req Result
 			}
 			co.logf("campaign %s: spot-checking %s (re-leasing for a confirming vote)", c.id, req.Key)
 		}
+	}
+	// Spans: under verification (k>1, a suspect's corroboration bar, or a
+	// spot check) the vote collection gets a verify span with one instant
+	// per vote cast.
+	if j.needVotes > 1 {
+		verifyID := obs.SpanID(j.trace, obs.KindVerify, 0)
+		if !j.verifyOpen {
+			j.verifyOpen = true
+			c.trace.Start(obs.Span{
+				Trace: j.trace, ID: verifyID,
+				Parent: obs.SpanID(j.trace, obs.KindCell, 0),
+				Kind:   obs.KindVerify, Key: req.Key, Start: now,
+			})
+		}
+		c.trace.Start(obs.Span{
+			Trace: j.trace, ID: obs.SpanID(j.trace, obs.KindVote, len(j.votes)),
+			Parent: verifyID, Kind: obs.KindVote, Key: req.Key,
+			Worker: req.Worker, Attempt: len(j.votes),
+			Start: now, End: now, Status: obs.StatusOK,
+			Note: fmt.Sprintf("digest %.16s", req.Digest),
+		})
 	}
 	co.settleLocked(c, j, req.Key)
 	return ResultResponse{Accepted: true}
@@ -970,7 +1240,9 @@ func (co *Coordinator) tallyLocked(j *job) (top string, topCount, trusted int) {
 // the digest covers the payload. Voters on the winning side earn trust
 // credit; voters on any other digest are outvoted and struck.
 func (co *Coordinator) finalizeLocked(c *campaign, j *job, key, digest string, result json.RawMessage) {
+	now := co.now()
 	var winner string
+	winningAttempt := 0
 	for _, v := range j.votes {
 		if v.digest == digest {
 			if result == nil {
@@ -978,6 +1250,7 @@ func (co *Coordinator) finalizeLocked(c *campaign, j *job, key, digest string, r
 			}
 			if winner == "" {
 				winner = v.worker
+				winningAttempt = v.attempt
 			}
 			break
 		}
@@ -988,9 +1261,13 @@ func (co *Coordinator) finalizeLocked(c *campaign, j *job, key, digest string, r
 	// Revoke leases still in flight; their late reports dedup against the
 	// accepted digest.
 	for wname := range j.leases {
-		co.dropLeaseLocked(j, wname)
+		co.revokeLeaseLocked(c, j, wname, obs.StatusReleased, "superseded by accepted quorum")
 	}
 	co.dequeueLocked(c, j, key)
+	if j.openQueue != "" {
+		c.trace.End(j.openQueue, now, obs.StatusOK)
+		j.openQueue = ""
+	}
 	if j.state == jobFailed {
 		// Budget exhausted earlier, but a quorum formed anyway: revive the
 		// cell (the journal's latest-record-wins reload agrees).
@@ -1003,6 +1280,32 @@ func (co *Coordinator) finalizeLocked(c *campaign, j *job, key, digest string, r
 	j.failure = nil
 	c.done++
 	c.jnl.Done(key, j.attempts, json.RawMessage(j.result), winner, digest)
+	// Spans: mark the winning attempt's path Final, close the verify span
+	// and cell root, record the checkpoint write as an instant, and persist
+	// the finished timeline through the journal so crash-resume reconstructs
+	// it.
+	markFinal := func(kind obs.Kind, attempt int) {
+		c.trace.Update(obs.SpanID(j.trace, kind, attempt), func(s *obs.Span) { s.Final = true })
+	}
+	rootID := obs.SpanID(j.trace, obs.KindCell, 0)
+	if winningAttempt > 0 {
+		markFinal(obs.KindQueue, winningAttempt)
+		markFinal(obs.KindLease, winningAttempt)
+		markFinal(obs.KindExecute, winningAttempt)
+		markFinal(obs.KindReport, winningAttempt)
+	}
+	if j.verifyOpen {
+		c.trace.End(obs.SpanID(j.trace, obs.KindVerify, 0), now, obs.StatusOK)
+		markFinal(obs.KindVerify, 0)
+	}
+	c.trace.Start(obs.Span{
+		Trace: j.trace, ID: obs.SpanID(j.trace, obs.KindJournal, 0),
+		Parent: rootID, Kind: obs.KindJournal, Key: key,
+		Start: now, End: now, Status: obs.StatusOK, Final: true,
+	})
+	c.trace.End(rootID, now, obs.StatusOK)
+	markFinal(obs.KindCell, 0)
+	c.jnl.Spans(key, c.trace.CellSpans(key))
 	for _, v := range j.votes {
 		w := co.workers[v.worker]
 		if w == nil {
@@ -1087,6 +1390,10 @@ func (co *Coordinator) quarantineWorkerLocked(w *workerInfo) {
 	if co.metrics != nil {
 		co.metrics.quarantines.Inc()
 	}
+	// A disabled worker's per-worker gauges come off the /metrics surface
+	// (they re-register if its trust ever decays back); the aggregate
+	// quarantined gauge keeps counting it.
+	co.dropWorkerGauges(w.name)
 	co.logf("worker %q QUARANTINED: leases revoked, votes discounted", w.name)
 	for _, id := range co.order {
 		c := co.campaigns[id]
@@ -1098,7 +1405,7 @@ func (co *Coordinator) quarantineWorkerLocked(w *workerInfo) {
 			if j.state != jobPending {
 				continue
 			}
-			if co.dropLeaseLocked(j, w.name) {
+			if co.revokeLeaseLocked(c, j, w.name, obs.StatusReleased, "worker quarantined") {
 				c.requeues++
 				if co.metrics != nil {
 					co.metrics.requeues.Inc()
@@ -1127,14 +1434,38 @@ func (co *Coordinator) failOrRequeueLocked(c *campaign, j *job, key, worker stri
 
 // failLocked marks a cell permanently failed.
 func (co *Coordinator) failLocked(c *campaign, j *job, key string, f harness.JobFailure, worker string) {
+	now := co.now()
 	for wname := range j.leases {
-		co.dropLeaseLocked(j, wname)
+		co.revokeLeaseLocked(c, j, wname, obs.StatusReleased, "cell failed")
 	}
 	co.dequeueLocked(c, j, key)
 	j.state = jobFailed
 	j.failure = &f
 	c.failed++
 	c.jnl.Failed(f, worker)
+	// Spans: close the cell's open path as failed, record the checkpoint
+	// write, and persist the timeline.
+	if j.openQueue != "" {
+		c.trace.End(j.openQueue, now, obs.StatusFailed)
+		j.openQueue = ""
+	}
+	if j.verifyOpen {
+		c.trace.End(obs.SpanID(j.trace, obs.KindVerify, 0), now, obs.StatusFailed)
+	}
+	rootID := obs.SpanID(j.trace, obs.KindCell, 0)
+	c.trace.Start(obs.Span{
+		Trace: j.trace, ID: obs.SpanID(j.trace, obs.KindJournal, 0),
+		Parent: rootID, Kind: obs.KindJournal, Key: key,
+		Start: now, End: now, Status: obs.StatusOK, Final: true,
+	})
+	c.trace.Update(rootID, func(s *obs.Span) {
+		if s.End.IsZero() {
+			s.End = now
+			s.Status = obs.StatusFailed
+			s.Note = fmt.Sprintf("%s: %s", f.Kind, f.Err)
+		}
+	})
+	c.jnl.Spans(key, c.trace.CellSpans(key))
 	co.logf("campaign %s: %s FAILED permanently: %s", c.id, key, f.Err)
 }
 
@@ -1167,7 +1498,8 @@ func (co *Coordinator) ExpireLeases() int {
 				if co.metrics != nil {
 					co.metrics.expiries.Inc()
 				}
-				co.dropLeaseLocked(j, wname)
+				co.revokeLeaseLocked(c, j, wname, obs.StatusExpired,
+					fmt.Sprintf("no heartbeat from %q within %s", wname, co.cfg.leaseTTL()))
 				co.failOrRequeueLocked(c, j, key, wname, harness.JobFailure{
 					Key: key, Seed: j.spec.Seed, Kind: FailLostWorker,
 					Attempts: j.attempts,
@@ -1181,11 +1513,15 @@ func (co *Coordinator) ExpireLeases() int {
 	}
 	// Trust decay: one passive tick per scan walks quarantine scores back
 	// down, so a disabled worker that was fixed and redeployed eventually
-	// rehabilitates.
+	// rehabilitates. A worker recovering from disabled gets its per-worker
+	// gauges back (quarantine dropped them).
 	for _, w := range co.workers {
 		was := w.quar.State()
 		if w.quar.Tick() {
 			co.logf("worker %q trust decayed from %s to %s", w.name, was, w.quar.State())
+			if was == fault.QDisabled && w.quar.State() != fault.QDisabled {
+				co.registerWorkerGauges(w.name, w)
+			}
 		}
 	}
 	// Prune workers that hold nothing, have gone silent, and are in good
@@ -1247,6 +1583,47 @@ func (co *Coordinator) List() []CampaignStatus {
 	return out
 }
 
+// TraceSpans returns a campaign's display name and a snapshot of its span
+// store for the Chrome/Perfetto trace export.
+func (co *Coordinator) TraceSpans(id string) (string, []obs.Span, error) {
+	co.mu.Lock()
+	c := co.campaigns[id]
+	co.mu.Unlock()
+	if c == nil {
+		return "", nil, fmt.Errorf("fabric: unknown campaign %q", id)
+	}
+	return c.name, c.trace.Snapshot(), nil
+}
+
+// Timeline returns a campaign's span timeline, straggler report (k tail
+// cells; <=0 selects the analyzer default), heartbeat-fed progress
+// accumulators, and cycle-rate series.
+func (co *Coordinator) Timeline(id string, k int) (CampaignTimeline, error) {
+	co.mu.Lock()
+	c := co.campaigns[id]
+	if c == nil {
+		co.mu.Unlock()
+		return CampaignTimeline{}, fmt.Errorf("fabric: unknown campaign %q", id)
+	}
+	tl := CampaignTimeline{
+		ID:         c.id,
+		Name:       c.name,
+		State:      c.state(),
+		CycleRate:  c.cycleRate,
+		SimCycles:  c.simCycles,
+		SimCommits: c.simCommits,
+	}
+	trace, series := c.trace, c.rateSeries
+	co.mu.Unlock()
+	// Snapshots take the trace/series locks only — no coordinator lock held.
+	tl.Spans = trace.Snapshot()
+	obs.SortCanonical(tl.Spans)
+	tl.Dropped = trace.Dropped()
+	tl.Report = obs.Analyze(tl.Spans, k, co.now())
+	tl.Series = series.Snapshot()
+	return tl, nil
+}
+
 // Results returns a campaign's per-key results (raw worker JSON) and the
 // structured failures of cells that exhausted their budgets. Available at
 // any time; callers that need completeness should check State first.
@@ -1289,10 +1666,12 @@ func (co *Coordinator) Cancel(id string) error {
 		c.queue = nil
 		for _, j := range c.jobs {
 			j.queued = false
+			j.openQueue = ""
 			for wname := range j.leases {
 				co.dropLeaseLocked(j, wname)
 			}
 		}
+		c.trace.EndOpen(co.now(), obs.StatusCancelled)
 		co.logf("campaign %s (%s): cancelled", c.id, c.name)
 	}
 	co.updateGaugesLocked()
@@ -1304,9 +1683,10 @@ func (co *Coordinator) Fleet() []WorkerStatus {
 	now := co.now()
 	co.mu.Lock()
 	defer co.mu.Unlock()
+	fleetMean := co.fleetMeanLocked()
 	out := make([]WorkerStatus, 0, len(co.workers))
 	for _, w := range co.workers {
-		out = append(out, WorkerStatus{
+		ws := WorkerStatus{
 			Name:         w.name,
 			Leases:       w.leases,
 			HeartbeatAge: now.Sub(w.lastSeen),
@@ -1317,7 +1697,17 @@ func (co *Coordinator) Fleet() []WorkerStatus {
 			Trust:        w.quar.State().String(),
 			Corrupt:      w.corrupt,
 			Outvoted:     w.outvoted,
-		})
+			HeapMB:       w.heapMB,
+		}
+		if w.durations != nil && w.durations.Count() > 0 {
+			ws.P50MS = w.durations.Quantile(0.50)
+			ws.P99MS = w.durations.Quantile(0.99)
+			ws.MeanMS = w.durations.Mean()
+			if fleetMean > 0 {
+				ws.Slowdown = ws.MeanMS / fleetMean
+			}
+		}
+		out = append(out, ws)
 	}
 	sort.Slice(out, func(i, k int) bool { return out[i].Name < out[k].Name })
 	return out
@@ -1399,8 +1789,53 @@ func (co *Coordinator) registerWorkerGauges(name string, w *workerInfo) {
 	reg.LabeledGaugeFunc("mtvp_fleet_trust", labels,
 		"fleet trust quarantine level (0 healthy, 1 clamped, 2 disabled)",
 		read(func(w *workerInfo) float64 { return float64(w.quar.State()) }))
+	reg.LabeledGaugeFunc("mtvp_fleet_p99_ms", labels,
+		"p99 lease duration in milliseconds (straggler digest)",
+		read(func(w *workerInfo) float64 {
+			if w.durations == nil {
+				return 0
+			}
+			return w.durations.Quantile(0.99)
+		}))
+	reg.LabeledGaugeFunc("mtvp_fleet_slowdown", labels,
+		"worker mean lease duration relative to the fleet mean (1.0 = average)",
+		read(func(w *workerInfo) float64 {
+			fleet := co.fleetMeanLocked()
+			if fleet <= 0 || w.durations == nil || w.durations.Count() == 0 {
+				return 0
+			}
+			return w.durations.Mean() / fleet
+		}))
+	reg.LabeledGaugeFunc("mtvp_fleet_heap_mb", labels,
+		"worker live heap in MiB (heartbeat-reported)",
+		read(func(w *workerInfo) float64 { return w.heapMB }))
 	w.corruptCtr = reg.LabeledCounter("mtvp_fleet_corrupt_results_total", labels,
 		"results from the worker rejected for attestation-digest mismatch")
+	// Re-registration after a quarantine recovery gets a fresh counter;
+	// restore the worker's lifetime corrupt count so the series does not
+	// restart at zero.
+	if v := w.corruptCtr.Value(); v < w.corrupt {
+		w.corruptCtr.Add(w.corrupt - v)
+	}
+}
+
+// fleetMeanLocked is the fleet-wide mean closed-lease duration (ms),
+// weighted by each worker's sample count.
+func (co *Coordinator) fleetMeanLocked() float64 {
+	var sum float64
+	var n uint64
+	for _, w := range co.workers {
+		if w.durations == nil {
+			continue
+		}
+		cnt := w.durations.Count()
+		sum += w.durations.Mean() * float64(cnt)
+		n += cnt
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
 }
 
 // dropWorkerGauges retires a pruned worker's labeled gauges.
@@ -1413,7 +1848,8 @@ func (co *Coordinator) dropWorkerGauges(name string) {
 		"mtvp_fleet_leases", "mtvp_fleet_heartbeat_age_seconds",
 		"mtvp_fleet_jobs_done", "mtvp_fleet_jobs_failed",
 		"mtvp_fleet_leases_lost", "mtvp_fleet_cycle_rate",
-		"mtvp_fleet_trust", "mtvp_fleet_corrupt_results_total",
+		"mtvp_fleet_trust", "mtvp_fleet_p99_ms", "mtvp_fleet_slowdown",
+		"mtvp_fleet_heap_mb", "mtvp_fleet_corrupt_results_total",
 	} {
 		co.metrics.reg.Unregister(metric, labels)
 	}

@@ -1,0 +1,405 @@
+package fabric
+
+// Fleet-observatory tests: the causal span layer, heartbeat-piggybacked
+// metric folding, straggler analytics, the trace/timeline HTTP surface, and
+// the determinism golden — the same campaign's logical span DAG must come
+// out identical whether it ran locally, on one worker, or on a chaotic
+// fleet that lost leases along the way.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"mtvp/internal/obs"
+	"mtvp/internal/telemetry"
+)
+
+// TestHeartbeatDeltasFoldExactlyOnce exercises the delta protocol's
+// exactly-once fold: duplicate deliveries of an already-folded Seq are
+// no-ops, and a lost ack (the worker re-sends an overlapping delta under a
+// fresh Seq) is clamped against the absolute counters so campaign progress
+// stays exact.
+func TestHeartbeatDeltasFoldExactlyOnce(t *testing.T) {
+	clk := newFakeClock()
+	reg := telemetry.NewRegistry()
+	co := newTestCoordinator(t, clk, CoordinatorConfig{LeaseTTL: time.Minute, Registry: reg})
+	sub, err := co.Submit(testSpec("deltas", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := sub.ID
+	lease, ok := co.Lease("w1")
+	if !ok {
+		t.Fatal("lease refused")
+	}
+	key := lease.Spec.Key
+	if lease.Trace == "" || lease.Span == "" || lease.Attempt != 1 {
+		t.Fatalf("lease must carry trace identity: %+v", lease)
+	}
+
+	hb := func(seq, dc, cycles uint64) {
+		clk.advance(time.Second)
+		if !co.Heartbeat(HeartbeatRequest{Worker: "w1", Campaign: id, Key: key,
+			Seq: seq, DCycles: dc, Cycles: cycles, HeapMB: 64}) {
+			t.Fatalf("heartbeat seq %d refused", seq)
+		}
+	}
+	hb(1, 100, 100)
+	hb(1, 100, 100) // duplicate delivery: lease extends, no double fold
+	hb(2, 200, 200) // lost ack: overlapping delta, clamped to the missing 100
+	hb(3, 50, 250)
+
+	tl, err := co.Timeline(id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.SimCycles != 250 {
+		t.Fatalf("campaign cycles must fold exactly once: want 250, got %d", tl.SimCycles)
+	}
+
+	// The final report folds only the residual the heartbeats never
+	// carried: absolute 300 with 250 already folded adds exactly 50.
+	req := signedOK(co, "w1", id, key, `1`)
+	req.Exec = &ExecReport{Trace: lease.Trace, Span: lease.Span, DurMS: 5, Cycles: 300, Commits: 30}
+	if _, err := co.Result(req); err != nil {
+		t.Fatal(err)
+	}
+	tl, err = co.Timeline(id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.SimCycles != 300 || tl.SimCommits != 30 {
+		t.Fatalf("result must fold the residual exactly once: want 300/30, got %d/%d",
+			tl.SimCycles, tl.SimCommits)
+	}
+	for _, s := range tl.Spans {
+		if s.ID == lease.Span && s.Cycles != 250 {
+			t.Fatalf("lease span must accumulate folded deltas: want 250, got %d", s.Cycles)
+		}
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "mtvp_fabric_sim_cycles_total 300") {
+		t.Errorf("fabric counter must match the fold:\n%s", b.String())
+	}
+}
+
+// TestStragglerAnalyticsNameSlowedWorker drives two workers through one
+// campaign under a fake clock — one 9x slower than the other — and checks
+// that the timeline's straggler report, the tail cells, and the fleet view
+// all point at the slow one.
+func TestStragglerAnalyticsNameSlowedWorker(t *testing.T) {
+	clk := newFakeClock()
+	co := newTestCoordinator(t, clk, CoordinatorConfig{LeaseTTL: time.Hour})
+	sub, err := co.Submit(testSpec("straggle", 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := sub.ID
+
+	// Both workers take their cells at t0 so queue wait cancels out of the
+	// per-cell totals; the laggard then sits on its leases 9x longer.
+	leases := map[string][]Lease{}
+	for _, worker := range []string{"fast", "fast", "fast", "laggard", "laggard", "laggard"} {
+		lease, ok := co.Lease(worker)
+		if !ok {
+			t.Fatalf("lease for %s refused", worker)
+		}
+		leases[worker] = append(leases[worker], lease)
+	}
+	clk.advance(100 * time.Millisecond)
+	for _, lease := range leases["fast"] {
+		if _, err := co.Result(signedOK(co, "fast", id, lease.Spec.Key, `1`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.advance(800 * time.Millisecond)
+	for _, lease := range leases["laggard"] {
+		if _, err := co.Result(signedOK(co, "laggard", id, lease.Spec.Key, `1`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, _ := co.Status(id)
+	if st.State != StateComplete {
+		t.Fatalf("campaign must complete: %+v", st)
+	}
+
+	tl, err := co.Timeline(id, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tl.Report.Slowest(); got != "laggard" {
+		t.Fatalf("straggler report must name the slowed worker: got %q\n%+v", got, tl.Report)
+	}
+	var fastSD, lagSD float64
+	for _, w := range tl.Report.Workers {
+		switch w.Name {
+		case "fast":
+			fastSD = w.Slowdown
+		case "laggard":
+			lagSD = w.Slowdown
+		}
+	}
+	if !(lagSD > 1 && fastSD < 1 && lagSD > 3*fastSD) {
+		t.Fatalf("slowdown ratios wrong: fast=%.2f laggard=%.2f", fastSD, lagSD)
+	}
+	if len(tl.Report.Tail) != 3 {
+		t.Fatalf("want 3 tail cells, got %d", len(tl.Report.Tail))
+	}
+	for _, c := range tl.Report.Tail {
+		if c.Worker != "laggard" {
+			t.Errorf("tail cell %s must belong to the laggard, got %q", c.Key, c.Worker)
+		}
+	}
+
+	// The fleet view carries the same verdict for /api/v1/fleet scrapers.
+	for _, w := range co.Fleet() {
+		switch w.Name {
+		case "laggard":
+			if w.Slowdown <= 1 || w.P99MS < 800 {
+				t.Errorf("fleet view must show the laggard slow: %+v", w)
+			}
+		case "fast":
+			if w.Slowdown >= 1 {
+				t.Errorf("fleet view must show the fast worker fast: %+v", w)
+			}
+		}
+	}
+}
+
+// TestTimelineSurvivesRestart finishes half a campaign, crashes the
+// coordinator, and reconstructs the timeline from the journal: finalized
+// cells keep their full span trees (execute still parented under the
+// coordinator's lease span, worker attribution intact) and the straggler
+// analytics still name the slow worker.
+func TestTimelineSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	clk := newFakeClock()
+	co := newTestCoordinator(t, clk, CoordinatorConfig{JournalDir: dir, LeaseTTL: time.Hour})
+	sub, err := co.Submit(testSpec("resume", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := sub.ID
+
+	done := map[string]string{} // key -> worker
+	for i := 0; i < 2; i++ {
+		worker, dur := "fast", 100*time.Millisecond
+		if i == 1 {
+			worker, dur = "laggard", 900*time.Millisecond
+		}
+		lease, ok := co.Lease(worker)
+		if !ok {
+			t.Fatal("lease refused")
+		}
+		clk.advance(dur)
+		if _, err := co.Result(signedOK(co, worker, id, lease.Spec.Key, `1`)); err != nil {
+			t.Fatal(err)
+		}
+		done[lease.Spec.Key] = worker
+	}
+	co.Lease("doomed") // in-flight at the crash; its open spans die with us
+	co.Close()
+
+	co2 := newTestCoordinator(t, clk, CoordinatorConfig{JournalDir: dir, LeaseTTL: time.Hour})
+	tl, err := co2.Timeline(id, 0)
+	if err != nil {
+		t.Fatalf("timeline must survive the restart: %v", err)
+	}
+
+	byID := map[string]obs.Span{}
+	for _, s := range tl.Spans {
+		byID[s.ID] = s
+	}
+	for key, worker := range done {
+		tr := obs.TraceID(id, key)
+		lease, ok := byID[obs.SpanID(tr, obs.KindLease, 1)]
+		if !ok || lease.Worker != worker || !lease.Final || lease.Status != obs.StatusOK {
+			t.Fatalf("%s: journaled lease span wrong: %+v", key, lease)
+		}
+		exec, ok := byID[obs.SpanID(tr, obs.KindExecute, 1)]
+		if !ok {
+			t.Fatalf("%s: execute span lost across the restart", key)
+		}
+		if exec.Parent != lease.ID {
+			t.Fatalf("%s: execute must stay parented under the lease: %+v", key, exec)
+		}
+		if _, ok := byID[obs.SpanID(tr, obs.KindJournal, 0)]; !ok {
+			t.Fatalf("%s: journal checkpoint span lost", key)
+		}
+	}
+	if got := tl.Report.Slowest(); got != "laggard" {
+		t.Fatalf("analytics over journaled spans must still name the laggard: got %q", got)
+	}
+
+	// The two unfinished cells re-open fresh root/queue spans for the
+	// resumed run — the timeline is live again, not a fossil.
+	var openRoots int
+	for _, s := range tl.Spans {
+		if s.Kind == obs.KindCell && s.End.IsZero() {
+			openRoots++
+		}
+	}
+	if openRoots != 2 {
+		t.Fatalf("want 2 live cell roots after resume, got %d", openRoots)
+	}
+}
+
+// TestTraceAndTimelineEndpoints drives one cell through a real server and
+// scrapes the observability surface over HTTP: the timeline JSON stitches
+// the worker's execute span under the coordinator's lease span, and the
+// trace endpoint serves one well-formed Chrome trace-event document with
+// named worker tracks and dispatch flow arrows.
+func TestTraceAndTimelineEndpoints(t *testing.T) {
+	co, srv := startServer(t, CoordinatorConfig{}, ServerConfig{Token: "t"})
+	sub, err := co.Submit(testSpec("scrape", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := sub.ID
+	lease, ok := co.Lease("w1")
+	if !ok {
+		t.Fatal("lease refused")
+	}
+	if _, err := co.Result(signedOK(co, "w1", id, lease.Spec.Key, `1`)); err != nil {
+		t.Fatal(err)
+	}
+
+	cl := NewClient(srv.URL(), "t")
+	tl, err := cl.Timeline(context.Background(), id, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var leaseSpan, execSpan *obs.Span
+	for i := range tl.Spans {
+		switch tl.Spans[i].Kind {
+		case obs.KindLease:
+			leaseSpan = &tl.Spans[i]
+		case obs.KindExecute:
+			execSpan = &tl.Spans[i]
+		}
+	}
+	if leaseSpan == nil || execSpan == nil {
+		t.Fatalf("timeline missing lease/execute spans: %+v", tl.Spans)
+	}
+	if execSpan.Parent != leaseSpan.ID || execSpan.Worker != "w1" {
+		t.Fatalf("execute span must be stitched under the lease: %+v", execSpan)
+	}
+
+	raw, err := cl.TraceJSON(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Cat  string `json:"cat"`
+			TID  int    `json:"tid"`
+			Args map[string]any
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace endpoint must serve valid JSON: %v\n%.300s", err, raw)
+	}
+	var workerTrack, dispatchFlow, executeEvent bool
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" && ev.Args["name"] == "worker w1" {
+			workerTrack = true
+		}
+		if ev.Cat == "flow" && ev.Name == "dispatch" {
+			dispatchFlow = true
+		}
+		if ev.Cat == "execute" && ev.TID > 0 {
+			executeEvent = true
+		}
+	}
+	if !workerTrack || !dispatchFlow || !executeEvent {
+		t.Fatalf("trace document incomplete: workerTrack=%v dispatchFlow=%v executeEvent=%v",
+			workerTrack, dispatchFlow, executeEvent)
+	}
+
+	// Unknown campaigns 404 on both endpoints.
+	if _, err := cl.Timeline(context.Background(), "nope", 0); err == nil {
+		t.Error("timeline for unknown campaign must fail")
+	}
+	if _, err := cl.TraceJSON(context.Background(), "nope"); err == nil {
+		t.Error("trace for unknown campaign must fail")
+	}
+}
+
+// TestSpanDAGDeterminismGolden is the determinism golden: the same
+// campaign, run on one worker, on four workers, and on a fleet where a
+// zombie swallowed leases mid-cell, projects to the same logical span DAG —
+// and that DAG is exactly the canonical first-attempt prediction.
+func TestSpanDAGDeterminismGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins real workers")
+	}
+	cfg := CoordinatorConfig{LeaseTTL: 300 * time.Millisecond, Retries: 5}
+	scfg := ServerConfig{Token: "t", ExpireEvery: 20 * time.Millisecond}
+
+	spec := CampaignSpec{Name: "dag-golden", Fingerprint: "insts=3000 seed=1"}
+	var keys []string
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("dag/bench-%02d/mtvp4", i)
+		keys = append(keys, key)
+		spec.Jobs = append(spec.Jobs, JobSpec{
+			Key: key, Bench: fmt.Sprintf("bench-%02d", i), Preset: "mtvp4", Seed: uint64(i),
+		})
+	}
+	id := CampaignID(spec)
+	golden := obs.CanonicalDAG(id, keys)
+
+	dagOf := func(name string, workers int, zombies int) []obs.Node {
+		t.Helper()
+		co, srv := startServer(t, cfg, scfg)
+		if zombies > 0 {
+			// A zombie leases cells over HTTP and goes silent — lease expiry
+			// must requeue them, and the winning retry must renumber onto
+			// the same logical DAG.
+			zcl := NewClient(srv.URL(), "t")
+			if _, err := zcl.Submit(context.Background(), spec); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < zombies; i++ {
+				var lease Lease
+				if err := zcl.do(context.Background(), "POST", PathLease, LeaseRequest{Worker: "zombie"}, &lease); err != nil {
+					t.Fatalf("zombie lease %d: %v", i, err)
+				}
+			}
+		}
+		for i := 0; i < workers; i++ {
+			startWorker(t, srv.URL(), "t", fmt.Sprintf("%s-%d", name, i), 1, detRun)
+		}
+		res, _ := runCampaign(t, srv.URL(), "t", spec)
+		if res.State != StateComplete {
+			t.Fatalf("%s run must complete: %+v", name, res)
+		}
+		_, spans, err := co.TraceSpans(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return obs.LogicalDAG(spans, true)
+	}
+
+	solo := dagOf("solo", 1, 0)
+	fleet := dagOf("fleet", 4, 0)
+	chaos := dagOf("chaos", 3, 3)
+
+	if diff := obs.DiffDAG(golden, solo); diff != "" {
+		t.Errorf("solo run diverges from the canonical DAG:\n%s", diff)
+	}
+	if diff := obs.DiffDAG(solo, fleet); diff != "" {
+		t.Errorf("1-worker and 4-worker DAGs differ:\n%s", diff)
+	}
+	if diff := obs.DiffDAG(solo, chaos); diff != "" {
+		t.Errorf("chaos DAG differs from the solo DAG:\n%s", diff)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"mtvp/internal/obs"
 )
 
 // The journal is a JSONL checkpoint stream: one header line per campaign
@@ -25,6 +27,12 @@ import (
 const (
 	KindHeader = "campaign"
 	KindCell   = "cell"
+	// KindSpan records a finalized cell's observability spans (the fabric
+	// coordinator writes one per cell as it completes), so a crash-resumed
+	// coordinator reconstructs campaign timelines, not just results. Loaders
+	// that predate span records skip unknown kinds, so the journal stays
+	// backward- and forward-compatible.
+	KindSpan = "spans"
 
 	StatusDone   = "done"
 	StatusFailed = "failed"
@@ -60,6 +68,10 @@ type Record struct {
 	// at-rest corruption of a result is caught at resume instead of leaking
 	// into a report.
 	Digest string `json:"digest,omitempty"`
+
+	// Spans carries a finalized cell's observability timeline (KindSpan
+	// records only).
+	Spans []obs.Span `json:"spans,omitempty"`
 }
 
 // LoadJournal reads a journal for resume, returning the latest record per
@@ -75,16 +87,26 @@ type Record struct {
 // fails the resume — silently dropping mid-file records would resurrect
 // completed cells and break report identity.
 func LoadJournal(path, fingerprint string) (map[string]*Record, []string, error) {
+	recs, _, warns, err := LoadJournalFull(path, fingerprint)
+	return recs, warns, err
+}
+
+// LoadJournalFull is LoadJournal plus the per-cell span records (latest
+// KindSpan record per key wins, mirroring cell-record semantics): the
+// fabric coordinator uses it to reconstruct campaign timelines across a
+// crash/restart.
+func LoadJournalFull(path, fingerprint string) (map[string]*Record, map[string][]obs.Span, []string, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return map[string]*Record{}, nil, nil
+			return map[string]*Record{}, map[string][]obs.Span{}, nil, nil
 		}
-		return nil, nil, fmt.Errorf("harness: resume: %w", err)
+		return nil, nil, nil, fmt.Errorf("harness: resume: %w", err)
 	}
 	defer f.Close()
 
 	out := map[string]*Record{}
+	spans := map[string][]obs.Span{}
 	var warns []string
 	tornLine := 0 // 1-based line number of a pending unparseable line
 	lineNo := 0
@@ -99,7 +121,7 @@ func LoadJournal(path, fingerprint string) (map[string]*Record, []string, error)
 		if tornLine != 0 {
 			// A parseable-or-not line after the bad one: the damage is not a
 			// torn tail, it is mid-file corruption.
-			return nil, nil, fmt.Errorf("harness: resume: %s:%d: corrupt record is not the final line (journal damaged mid-file)",
+			return nil, nil, nil, fmt.Errorf("harness: resume: %s:%d: corrupt record is not the final line (journal damaged mid-file)",
 				path, tornLine)
 		}
 		var rec Record
@@ -111,7 +133,7 @@ func LoadJournal(path, fingerprint string) (map[string]*Record, []string, error)
 		switch rec.Kind {
 		case KindHeader:
 			if fingerprint != "" && rec.Fingerprint != "" && rec.Fingerprint != fingerprint {
-				return nil, nil, fmt.Errorf("harness: resume: journal %s was written with different options (%q, want %q)",
+				return nil, nil, nil, fmt.Errorf("harness: resume: journal %s was written with different options (%q, want %q)",
 					path, rec.Fingerprint, fingerprint)
 			}
 		case KindCell:
@@ -119,16 +141,20 @@ func LoadJournal(path, fingerprint string) (map[string]*Record, []string, error)
 				r := rec
 				out[rec.Key] = &r
 			}
+		case KindSpan:
+			if rec.Key != "" {
+				spans[rec.Key] = rec.Spans
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, nil, fmt.Errorf("harness: resume: reading %s: %w", path, err)
+		return nil, nil, nil, fmt.Errorf("harness: resume: reading %s: %w", path, err)
 	}
 	if tornLine != 0 {
 		warns = append(warns, fmt.Sprintf("harness: resume: %s:%d: skipping torn final record (interrupted mid-write); its cell will re-run",
 			path, tornLine))
 	}
-	return out, warns, nil
+	return out, spans, warns, nil
 }
 
 // Journal appends checkpoint records. All methods are nil-safe so callers
@@ -180,6 +206,16 @@ func (j *Journal) Done(key string, attempts int, result any, worker, digest stri
 		return
 	}
 	j.Append(Record{Kind: KindCell, Key: key, Status: StatusDone, Attempts: attempts, Result: raw, Worker: worker, Digest: digest})
+}
+
+// Spans checkpoints a finalized cell's observability timeline. Span
+// records ride the same fsynced stream as results, so a coordinator
+// crash/restart reconstructs campaign traces for completed cells.
+func (j *Journal) Spans(key string, spans []obs.Span) {
+	if j == nil || len(spans) == 0 {
+		return
+	}
+	j.Append(Record{Kind: KindSpan, Key: key, Spans: spans})
 }
 
 // Failed checkpoints a cell that exhausted its attempts.

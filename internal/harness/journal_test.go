@@ -10,6 +10,9 @@ import (
 	"strings"
 	"syscall"
 	"testing"
+	"time"
+
+	"mtvp/internal/obs"
 )
 
 // writeJournal builds a journal with a header and n done cells, returning
@@ -182,5 +185,58 @@ func TestJournalRawResultRoundTrip(t *testing.T) {
 	rec := recs["k"]
 	if rec == nil || string(rec.Result) != `{"ipc":1.25}` || rec.Worker != "w1" || rec.Digest != "sha256:feed" {
 		t.Fatalf("bad round trip: %+v", rec)
+	}
+}
+
+// Span records ride the journal next to cell records: LoadJournalFull
+// returns the latest span set per key, plain LoadJournal skips them (older
+// readers keep working), and a torn span tail is tolerated like any other
+// torn record.
+func TestJournalSpanRecordsRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	j, err := OpenJournal(path, "obs", "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Done("cell-00", 1, 42, "w1", "digest")
+	mk := func(id string, attempt int) obs.Span {
+		return obs.Span{
+			Trace: "t0", ID: id, Kind: obs.KindLease, Key: "cell-00",
+			Worker: "w1", Attempt: attempt,
+			Start:  time.Unix(1_700_000_000, 0).UTC(),
+			End:    time.Unix(1_700_000_009, 0).UTC(),
+			Status: obs.StatusOK, Final: true,
+		}
+	}
+	j.Spans("cell-00", []obs.Span{mk("aaaa", 1)})
+	// A rewrite for the same key supersedes the first set.
+	j.Spans("cell-00", []obs.Span{mk("aaaa", 1), mk("bbbb", 2)})
+	j.Close()
+
+	recs, spans, warns, err := LoadJournalFull(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warns) != 0 {
+		t.Fatalf("unexpected warnings: %q", warns)
+	}
+	if recs["cell-00"] == nil {
+		t.Fatal("cell record lost")
+	}
+	got := spans["cell-00"]
+	if len(got) != 2 || got[0].ID != "aaaa" || got[1].ID != "bbbb" {
+		t.Fatalf("latest span set must win: %+v", got)
+	}
+	if !got[0].Start.Equal(time.Unix(1_700_000_000, 0)) || got[1].Attempt != 2 {
+		t.Fatalf("span fields must round-trip: %+v", got)
+	}
+
+	// The plain loader ignores span records entirely.
+	recs2, _, err := LoadJournal(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs2) != 1 || recs2["cell-00"] == nil {
+		t.Fatalf("LoadJournal must still see exactly the cell record: %+v", recs2)
 	}
 }

@@ -1,0 +1,392 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestIDsDeterministicAndDistinct(t *testing.T) {
+	tr1 := TraceID("campaign-a", "fig1/mcf/mtvp4")
+	tr2 := TraceID("campaign-a", "fig1/mcf/mtvp4")
+	if tr1 != tr2 {
+		t.Fatalf("TraceID not deterministic: %q vs %q", tr1, tr2)
+	}
+	if len(tr1) != 16 {
+		t.Fatalf("TraceID length = %d, want 16", len(tr1))
+	}
+	seen := map[string]string{}
+	for _, campaign := range []string{"a", "b"} {
+		for _, key := range []string{"k1", "k2"} {
+			id := TraceID(campaign, key)
+			if prev, dup := seen[id]; dup {
+				t.Fatalf("TraceID collision: %s for %s/%s and %s", id, campaign, key, prev)
+			}
+			seen[id] = campaign + "/" + key
+		}
+	}
+	// Separator injection must not collide: ("a\x00b","c") vs ("a","b\x00c").
+	if TraceID("a\x00b", "c") == TraceID("a", "b\x00c") {
+		t.Fatal("TraceID separator injection collision")
+	}
+	s1 := SpanID(tr1, KindLease, 1)
+	s2 := SpanID(tr1, KindLease, 2)
+	s3 := SpanID(tr1, KindQueue, 1)
+	if s1 == s2 || s1 == s3 || s2 == s3 {
+		t.Fatalf("SpanID collisions: %s %s %s", s1, s2, s3)
+	}
+	if s1 != SpanID(tr1, KindLease, 1) {
+		t.Fatal("SpanID not deterministic")
+	}
+}
+
+func TestTraceStoreBoundAndUpsert(t *testing.T) {
+	tr := NewTrace("c", 3)
+	base := time.Unix(1000, 0)
+	for i := 0; i < 5; i++ {
+		tr.Start(Span{ID: SpanID("t", KindQueue, i), Kind: KindQueue, Key: "k", Start: base})
+	}
+	if got := tr.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3 (bounded)", got)
+	}
+	if got := tr.Dropped(); got != 2 {
+		t.Fatalf("Dropped = %d, want 2", got)
+	}
+	// Upsert on a known ID replaces in place even when full.
+	id := SpanID("t", KindQueue, 0)
+	tr.Start(Span{ID: id, Kind: KindQueue, Key: "k2", Start: base})
+	found := false
+	for _, s := range tr.Snapshot() {
+		if s.ID == id {
+			found = true
+			if s.Key != "k2" {
+				t.Fatalf("upsert did not replace: key %q", s.Key)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("upserted span missing from snapshot")
+	}
+	// End closes open spans once; later Ends do not overwrite.
+	tr.End(id, base.Add(time.Second), StatusOK)
+	tr.End(id, base.Add(2*time.Second), StatusError)
+	for _, s := range tr.CellSpans("k2") {
+		if s.ID == id {
+			if s.Status != StatusOK || !s.End.Equal(base.Add(time.Second)) {
+				t.Fatalf("End overwrote closed span: %+v", s)
+			}
+		}
+	}
+}
+
+func TestTraceEndOpenAndSeed(t *testing.T) {
+	tr := NewTrace("c", 0)
+	base := time.Unix(1000, 0)
+	tr.Start(Span{ID: "a", Kind: KindCell, Key: "k", Start: base})
+	tr.Start(Span{ID: "b", Kind: KindQueue, Key: "k", Start: base})
+	tr.End("b", base.Add(time.Second), StatusOK)
+	tr.EndOpen(base.Add(5*time.Second), StatusCancelled)
+	snap := tr.Snapshot()
+	for _, s := range snap {
+		switch s.ID {
+		case "a":
+			if s.Status != StatusCancelled {
+				t.Fatalf("open span not cancelled: %+v", s)
+			}
+		case "b":
+			if s.Status != StatusOK {
+				t.Fatalf("closed span overwritten: %+v", s)
+			}
+		}
+	}
+	// Seeding into a fresh store reproduces the snapshot (journal resume).
+	tr2 := NewTrace("c", 0)
+	tr2.Seed(snap)
+	if got := len(tr2.Snapshot()); got != len(snap) {
+		t.Fatalf("seeded %d spans, got %d", len(snap), got)
+	}
+}
+
+func TestSeriesDecimation(t *testing.T) {
+	s := NewSeries("rate", 8)
+	base := time.Unix(0, 0)
+	for i := 0; i < 100; i++ {
+		s.Add(base.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	pts := s.Snapshot()
+	if len(pts) > 8 {
+		t.Fatalf("series exceeded bound: %d points", len(pts))
+	}
+	if len(pts) < 2 {
+		t.Fatalf("series over-decimated: %d points", len(pts))
+	}
+	// Time-ordered, spanning early to late.
+	for i := 1; i < len(pts); i++ {
+		if !pts[i].T.After(pts[i-1].T) {
+			t.Fatalf("series out of order at %d", i)
+		}
+	}
+	if pts[0].V != 0 {
+		t.Fatalf("lost series head: first point %v", pts[0])
+	}
+	if pts[len(pts)-1].V < 50 {
+		t.Fatalf("lost series tail: last point %v", pts[len(pts)-1])
+	}
+}
+
+func TestDigestQuantiles(t *testing.T) {
+	d := NewDigest(1000)
+	for i := 1; i <= 100; i++ {
+		d.Add(float64(i))
+	}
+	if got := d.Quantile(0.5); got < 45 || got > 55 {
+		t.Fatalf("p50 = %v, want ~50", got)
+	}
+	if got := d.Quantile(0.99); got < 95 || got > 100 {
+		t.Fatalf("p99 = %v, want ~99", got)
+	}
+	if got := d.Mean(); got != 50.5 {
+		t.Fatalf("mean = %v, want 50.5", got)
+	}
+	if got := d.Max(); got != 100 {
+		t.Fatalf("max = %v, want 100", got)
+	}
+	if got := d.Count(); got != 100 {
+		t.Fatalf("count = %v, want 100", got)
+	}
+	// Bound respected; mean stays exact past the bound.
+	small := NewDigest(4)
+	for i := 1; i <= 100; i++ {
+		small.Add(float64(i))
+	}
+	if got := small.Mean(); got != 50.5 {
+		t.Fatalf("bounded mean = %v, want 50.5", got)
+	}
+	// NaN and negatives ignored.
+	before := d.Count()
+	d.Add(-1)
+	if d.Count() != before {
+		t.Fatal("negative sample accepted")
+	}
+}
+
+// buildRun fabricates a two-cell campaign's spans: cell k1 done by worker
+// w-fast in 10ms, cell k2 done by w-slow in 100ms after one requeue.
+func buildRun(campaign string) []Span {
+	base := time.Unix(2000, 0)
+	mk := func(key string, kind Kind, attempt int, parentKind Kind, parentAttempt int, worker string, start, end time.Duration, status string, final bool) Span {
+		trc := TraceID(campaign, key)
+		var parent string
+		if parentKind != "" {
+			parent = SpanID(trc, parentKind, parentAttempt)
+		}
+		s := Span{
+			Trace: trc, ID: SpanID(trc, kind, attempt), Parent: parent,
+			Kind: kind, Key: key, Worker: worker, Attempt: attempt,
+			Start: base.Add(start), Status: status, Final: final,
+		}
+		if end >= 0 {
+			s.End = base.Add(end)
+		}
+		return s
+	}
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	return []Span{
+		// k1: clean first-attempt completion on w-fast.
+		mk("k1", KindCell, 0, "", 0, "", 0, ms(15), StatusOK, true),
+		mk("k1", KindQueue, 1, KindCell, 0, "", 0, ms(2), StatusOK, true),
+		mk("k1", KindLease, 1, KindCell, 0, "w-fast", ms(2), ms(12), StatusOK, true),
+		mk("k1", KindExecute, 1, KindLease, 1, "w-fast", ms(3), ms(11), StatusOK, true),
+		mk("k1", KindReport, 1, KindLease, 1, "w-fast", ms(11), ms(12), StatusOK, true),
+		mk("k1", KindJournal, 0, KindCell, 0, "", ms(12), ms(15), StatusOK, true),
+		// k2: attempt 1 expired on w-slow, attempt 2 succeeded on w-slow.
+		mk("k2", KindCell, 0, "", 0, "", 0, ms(130), StatusOK, true),
+		mk("k2", KindQueue, 1, KindCell, 0, "", 0, ms(5), StatusOK, false),
+		mk("k2", KindLease, 1, KindCell, 0, "w-slow", ms(5), ms(20), StatusExpired, false),
+		mk("k2", KindQueue, 2, KindCell, 0, "", ms(20), ms(25), StatusOK, true),
+		mk("k2", KindLease, 2, KindCell, 0, "w-slow", ms(25), ms(125), StatusOK, true),
+		mk("k2", KindExecute, 2, KindLease, 2, "w-slow", ms(26), ms(120), StatusOK, true),
+		mk("k2", KindReport, 2, KindLease, 2, "w-slow", ms(120), ms(125), StatusOK, true),
+		mk("k2", KindJournal, 0, KindCell, 0, "", ms(125), ms(130), StatusOK, true),
+	}
+}
+
+func TestAnalyzeStragglers(t *testing.T) {
+	rep := Analyze(buildRun("c"), 10, time.Time{})
+	if rep.Cells != 2 {
+		t.Fatalf("cells = %d, want 2", rep.Cells)
+	}
+	if got := rep.Slowest(); got != "w-slow" {
+		t.Fatalf("Slowest = %q, want w-slow", got)
+	}
+	if len(rep.Workers) != 2 {
+		t.Fatalf("workers = %d, want 2", len(rep.Workers))
+	}
+	// Sorted by slowdown descending: w-slow first.
+	if rep.Workers[0].Name != "w-slow" || rep.Workers[0].Slowdown <= rep.Workers[1].Slowdown {
+		t.Fatalf("worker order wrong: %+v", rep.Workers)
+	}
+	if rep.Workers[0].Slowdown <= 1 {
+		t.Fatalf("w-slow slowdown = %v, want > 1", rep.Workers[0].Slowdown)
+	}
+	// Tail: k2 is the slowest cell, attributed to w-slow with a requeue.
+	if len(rep.Tail) != 2 || rep.Tail[0].Key != "k2" {
+		t.Fatalf("tail = %+v", rep.Tail)
+	}
+	tc := rep.Tail[0]
+	if tc.Worker != "w-slow" || tc.Attempts != 2 || tc.Requeues != 1 {
+		t.Fatalf("tail cell attribution: %+v", tc)
+	}
+	if tc.ExecMS <= 0 || tc.QueueMS <= 0 || tc.TotalMS < tc.ExecMS {
+		t.Fatalf("tail cell breakdown: %+v", tc)
+	}
+	// k limits the tail.
+	if got := Analyze(buildRun("c"), 1, time.Time{}); len(got.Tail) != 1 {
+		t.Fatalf("k=1 tail = %d", len(got.Tail))
+	}
+}
+
+func TestAnalyzeOpenSpansUseNow(t *testing.T) {
+	base := time.Unix(2000, 0)
+	trc := TraceID("c", "k")
+	spans := []Span{
+		{Trace: trc, ID: SpanID(trc, KindCell, 0), Kind: KindCell, Key: "k", Start: base},
+		{Trace: trc, ID: SpanID(trc, KindLease, 1), Kind: KindLease, Key: "k",
+			Worker: "w", Attempt: 1, Start: base},
+	}
+	rep := Analyze(spans, 5, base.Add(2*time.Second))
+	if len(rep.Workers) != 1 || rep.Workers[0].MeanMS < 1900 {
+		t.Fatalf("open lease not measured to now: %+v", rep.Workers)
+	}
+}
+
+func TestCanonicalAndLogicalDAGMatch(t *testing.T) {
+	campaign := "deadbeef"
+	keys := []string{"k1", "k2"}
+	want := CanonicalDAG(campaign, keys)
+	// 6 spans per cell.
+	if len(want) != 12 {
+		t.Fatalf("canonical nodes = %d, want 12", len(want))
+	}
+	got := LogicalDAG(buildRun(campaign), true)
+	if diff := DiffDAG(want, got); diff != "" {
+		t.Fatalf("DAG mismatch:\n%s", diff)
+	}
+	// Without renumbering, k2's attempt-2 path keeps its own IDs and the
+	// DAGs differ.
+	raw := LogicalDAG(buildRun(campaign), false)
+	if diff := DiffDAG(want, raw); diff == "" {
+		t.Fatal("expected mismatch without renumbering")
+	}
+}
+
+func TestDiffDAGReportsDifferences(t *testing.T) {
+	a := CanonicalDAG("c", []string{"k1"})
+	b := CanonicalDAG("c", []string{"k2"})
+	diff := DiffDAG(a, b)
+	if !strings.Contains(diff, "missing") || !strings.Contains(diff, "unexpected") {
+		t.Fatalf("diff did not describe both sides:\n%s", diff)
+	}
+}
+
+func TestWriteTraceWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	spans := buildRun("c")
+	// Add one open span to exercise the live-scrape path.
+	trc := TraceID("c", "k3")
+	spans = append(spans,
+		Span{Trace: trc, ID: SpanID(trc, KindCell, 0), Kind: KindCell, Key: "k3",
+			Start: time.Unix(2000, 0)},
+		Span{Trace: trc, ID: SpanID(trc, KindLease, 1), Kind: KindLease, Key: "k3",
+			Worker: "w-fast", Attempt: 1, Start: time.Unix(2000, 0)},
+	)
+	if err := WriteTrace(&buf, "test", spans, time.Unix(2001, 0)); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TID  int            `json:"tid"`
+			Dur  int64          `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var tracks, executes, flows, opens int
+	workerTIDs := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				tracks++
+			}
+		case "X":
+			if strings.HasPrefix(ev.Name, "execute") {
+				executes++
+				if ev.TID == coordinatorTID {
+					t.Fatal("execute span on coordinator track")
+				}
+				workerTIDs[ev.TID] = true
+			}
+			if ev.Args["open"] == true {
+				opens++
+				if ev.Dur <= 0 {
+					t.Fatalf("open span with non-positive dur: %+v", ev)
+				}
+			}
+		case "s":
+			flows++
+		}
+	}
+	// coordinator + w-fast + w-slow tracks.
+	if tracks != 3 {
+		t.Fatalf("thread_name tracks = %d, want 3", tracks)
+	}
+	if executes != 2 {
+		t.Fatalf("execute slices = %d, want 2", executes)
+	}
+	if len(workerTIDs) != 2 {
+		t.Fatalf("execute spans spread over %d worker tracks, want 2", len(workerTIDs))
+	}
+	if flows == 0 {
+		t.Fatal("no flow arrows emitted")
+	}
+	if opens == 0 {
+		t.Fatal("open span not exported")
+	}
+}
+
+func TestSpanJSONRoundTrip(t *testing.T) {
+	s := buildRun("c")[2]
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Span
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	// Compare via re-marshal: time.Time's == is location-sensitive.
+	b2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Fatalf("round trip mismatch:\n %s\n %s", b, b2)
+	}
+	// Open spans must omit the zero End rather than emitting year-1 noise.
+	s.End = time.Time{}
+	b, _ = json.Marshal(s)
+	if bytes.Contains(b, []byte(`"end"`)) {
+		t.Fatalf("zero End serialized: %s", b)
+	}
+}

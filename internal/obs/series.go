@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Point is one sample in a fleet time series.
+type Point struct {
+	T time.Time `json:"t"`
+	V float64   `json:"v"`
+}
+
+// Series is a bounded append-only time series. When the store fills it
+// halves itself by dropping every other point and doubles the keep stride,
+// so a long campaign keeps full history at progressively coarser
+// resolution instead of losing either its head or its tail.
+type Series struct {
+	mu     sync.Mutex
+	name   string
+	limit  int
+	stride int
+	skip   int
+	pts    []Point
+}
+
+// NewSeries returns a bounded series holding at most limit points
+// (<=0 selects 512).
+func NewSeries(name string, limit int) *Series {
+	if limit <= 0 {
+		limit = 512
+	}
+	if limit < 8 {
+		limit = 8
+	}
+	return &Series{name: name, limit: limit, stride: 1}
+}
+
+// Name returns the series name.
+func (s *Series) Name() string { return s.name }
+
+// Add appends a sample, decimating (stride-doubling) when full.
+func (s *Series) Add(t time.Time, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.skip > 0 {
+		s.skip--
+		return
+	}
+	s.skip = s.stride - 1
+	if len(s.pts) >= s.limit {
+		kept := s.pts[:0]
+		for i := 0; i < len(s.pts); i += 2 {
+			kept = append(kept, s.pts[i])
+		}
+		s.pts = kept
+		s.stride *= 2
+		s.skip = s.stride - 1
+	}
+	s.pts = append(s.pts, Point{T: t, V: v})
+}
+
+// Snapshot returns a copy of the stored points in time order.
+func (s *Series) Snapshot() []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Point, len(s.pts))
+	copy(out, s.pts)
+	return out
+}
+
+// Digest is a bounded reservoir of duration samples (milliseconds)
+// supporting quantile queries. Below the bound it is exact; above it,
+// samples overwrite slots round-robin, biasing toward recency — good
+// enough for straggler attribution, cheap enough to keep per worker.
+type Digest struct {
+	mu    sync.Mutex
+	limit int
+	n     uint64
+	sum   float64
+	max   float64
+	buf   []float64
+	next  int
+}
+
+// NewDigest returns a digest keeping at most limit samples (<=0 selects
+// 256).
+func NewDigest(limit int) *Digest {
+	if limit <= 0 {
+		limit = 256
+	}
+	return &Digest{limit: limit}
+}
+
+// Add records one duration sample in milliseconds.
+func (d *Digest) Add(ms float64) {
+	if math.IsNaN(ms) || ms < 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.n++
+	d.sum += ms
+	if ms > d.max {
+		d.max = ms
+	}
+	if len(d.buf) < d.limit {
+		d.buf = append(d.buf, ms)
+		return
+	}
+	d.buf[d.next] = ms
+	d.next = (d.next + 1) % d.limit
+}
+
+// Count returns the number of samples ever added.
+func (d *Digest) Count() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.n
+}
+
+// Mean returns the exact mean over all samples ever added (0 when empty).
+func (d *Digest) Mean() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.n == 0 {
+		return 0
+	}
+	return d.sum / float64(d.n)
+}
+
+// Max returns the largest sample ever added.
+func (d *Digest) Max() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.max
+}
+
+// Quantile returns the q-th quantile (0..1) over the retained window,
+// 0 when empty.
+func (d *Digest) Quantile(q float64) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.buf) == 0 {
+		return 0
+	}
+	tmp := make([]float64, len(d.buf))
+	copy(tmp, d.buf)
+	sort.Float64s(tmp)
+	if q <= 0 {
+		return tmp[0]
+	}
+	if q >= 1 {
+		return tmp[len(tmp)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(tmp)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return tmp[idx]
+}

@@ -1,0 +1,50 @@
+// Package version carries the build identity every mtvp binary reports:
+// the -version flag output and the conventional mtvp_build_info metric
+// (constant 1 with the version riding the labels) on every /metrics
+// surface.
+package version
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+
+	"mtvp/internal/telemetry"
+)
+
+// Version identifies the build. Release builds inject it:
+//
+//	go build -ldflags "-X mtvp/internal/version.Version=v1.2.3"
+//
+// Dev builds fall back to the VCS revision stamped into the build info.
+var Version = "dev"
+
+// String returns the effective version: the injected Version, or
+// "dev+<revision>" when the toolchain stamped one.
+func String() string {
+	if Version != "dev" {
+		return Version
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+				return Version + "+" + s.Value[:12]
+			}
+		}
+	}
+	return Version
+}
+
+// Print writes the standard -version line for a binary.
+func Print(w io.Writer, binary string) {
+	fmt.Fprintf(w, "%s %s (%s, %s/%s)\n", binary, String(), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}
+
+// Register exports the build identity on reg as mtvp_build_info.
+func Register(reg *telemetry.Registry) {
+	reg.LabeledGaugeFunc("mtvp_build_info",
+		fmt.Sprintf("version=%q,go=%q", String(), runtime.Version()),
+		"build identity (constant 1; the version rides the labels)",
+		func() float64 { return 1 })
+}
