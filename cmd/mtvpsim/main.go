@@ -7,7 +7,14 @@
 //	mtvpsim -bench mcf -machine mtvp -vpred vpq-stride -vpred-sharing private
 //	mtvpsim -bench mcf -machine mtvp -check -faults spawn-storm
 //	mtvpsim -bench mcf -deadline 30s   # cancel cooperatively if it wedges
+//	mtvpsim -bench mcf -engine polling # legacy per-cycle scan (A/B reference)
 //	mtvpsim -list
+//
+// The -engine flag selects the simulation scheduler: "event" (the default
+// calendar-driven core) or "polling" (the legacy per-cycle quiescence scan).
+// Both produce bit-identical results (test-enforced); the flag exists for
+// A/B validation and for profiling one against the other. Exit codes are
+// identical under either engine.
 //
 // Exit codes: 0 on success, 1 on usage or generic simulation errors, 2 when
 // the lockstep oracle checker detects a divergence (a wrong committed
@@ -79,6 +86,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		vpredF    = fs.String("vpred", "", "value predictor: "+strings.Join(config.PredictorNames(), " | ")+" (overrides -pred)")
 		sharing   = fs.String("vpred-sharing", "shared", "predictor table organisation across contexts: "+strings.Join(config.SharingNames(), " | "))
 		sel       = fs.String("sel", "ilp", "load selector: ilp | l3 | always")
+		engine    = fs.String("engine", "event", "simulation scheduler: event (calendar-driven) | polling (legacy per-cycle scan); results are bit-identical")
 		spawnLat  = fs.Int("spawnlat", -1, "spawn latency in cycles (-1 = machine default)")
 		storeBuf  = fs.Int("storebuf", -1, "store buffer entries per context (-1 = default, 0 = unbounded)")
 		insts     = fs.Uint64("insts", 300_000, "useful committed instruction budget")
@@ -173,6 +181,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg = core.WideWindow()
 	default:
 		fmt.Fprintf(stderr, "unknown machine %q\n", *machine)
+		return exitErr
+	}
+	switch *engine {
+	case "event":
+		// Default: Config zero value.
+	case "polling":
+		cfg.DisableEventQueue = true
+	default:
+		fmt.Fprintf(stderr, "unknown engine %q (want event or polling)\n", *engine)
 		return exitErr
 	}
 	cfg.VP.Sharing = sm
@@ -309,9 +326,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	s := &res.Stats
 	fmt.Fprintf(stdout, "benchmark  %s (%s, %s)\n", bench.Name, bench.Kind, bench.Suite)
-	fmt.Fprintf(stdout, "machine    %s pred=%s sharing=%s sel=%s contexts=%d spawn=%dcyc storebuf=%d\n",
+	fmt.Fprintf(stdout, "machine    %s pred=%s sharing=%s sel=%s contexts=%d spawn=%dcyc storebuf=%d engine=%s\n",
 		*machine, cfg.VP.Predictor, cfg.VP.Sharing, cfg.VP.Selector, cfg.Contexts,
-		cfg.VP.SpawnLatency, cfg.VP.StoreBufEntries)
+		cfg.VP.SpawnLatency, cfg.VP.StoreBufEntries, *engine)
 	fmt.Fprintf(stdout, "cycles     %d\n", s.Cycles)
 	fmt.Fprintf(stdout, "committed  %d (useful)\n", s.Committed)
 	if *check {

@@ -50,6 +50,7 @@ func TestRunBadInputs(t *testing.T) {
 		{"-pred", "no-such-pred"},
 		{"-sel", "no-such-sel"},
 		{"-faults", "no-such-profile"},
+		{"-engine", "no-such-engine"},
 		{"-not-a-flag"},
 	}
 	for _, args := range cases {
@@ -69,6 +70,37 @@ func TestRunCheckedCleanExitsZero(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "checked") {
 		t.Fatalf("checked run output missing checker line:\n%s", out.String())
+	}
+}
+
+// TestRunEngineFlag pins the -engine A/B contract at the CLI level: both
+// schedulers exit zero on a checked run and print identical statistics
+// (only the machine banner, which names the engine, may differ).
+func TestRunEngineFlag(t *testing.T) {
+	outputs := map[string]string{}
+	for _, eng := range []string{"event", "polling"} {
+		var out, errw bytes.Buffer
+		args := []string{"-bench", "mcf", "-machine", "mtvp", "-contexts", "4",
+			"-check", "-insts", "3000", "-engine", eng}
+		if code := run(args, &out, &errw); code != exitOK {
+			t.Fatalf("-engine %s exited %d: %s", eng, code, errw.String())
+		}
+		if !strings.Contains(out.String(), "engine="+eng) {
+			t.Fatalf("-engine %s banner missing from output:\n%s", eng, out.String())
+		}
+		// Strip the banner line before comparing: it is the only line
+		// allowed to differ between engines.
+		var kept []string
+		for _, line := range strings.Split(out.String(), "\n") {
+			if !strings.HasPrefix(line, "machine") {
+				kept = append(kept, line)
+			}
+		}
+		outputs[eng] = strings.Join(kept, "\n")
+	}
+	if outputs["event"] != outputs["polling"] {
+		t.Fatalf("engine outputs diverge:\nevent:\n%s\npolling:\n%s",
+			outputs["event"], outputs["polling"])
 	}
 }
 

@@ -375,6 +375,16 @@ type Config struct {
 	// — so this knob exists only for A/B validation and debugging. The
 	// MTVP_NO_FASTFWD environment variable forces the same behaviour.
 	DisableFastForward bool
+
+	// DisableEventQueue selects the legacy polling scheduler — the
+	// per-cycle nextWake quiescence scan — instead of the event-driven
+	// calendar in which every stage enqueues its own next activation
+	// (pipeline/events.go). Like fast-forward, the event queue is a pure
+	// host-time optimization: simulated outcomes are bit-identical either
+	// way (test-enforced), so this knob exists only for A/B validation and
+	// debugging. The MTVP_NO_EVENTQ environment variable forces the same
+	// behaviour.
+	DisableEventQueue bool
 }
 
 // Baseline returns the Table 1 machine with value prediction disabled.

@@ -46,7 +46,7 @@ func (e *Engine) commitOne(t *thread, u *uop) {
 	if e.auditOn {
 		e.auditCommit(t, u)
 	}
-	u.state = stCommitted
+	e.setUopState(u, stCommitted)
 	t.robHead++
 	e.robUsed--
 	if u.usesRename {
@@ -56,6 +56,9 @@ func (e *Engine) commitOne(t *thread, u *uop) {
 	e.st.Committed++
 	e.lastProgress = e.now
 	e.noteCommitProgress()
+	// Event edge: freed ROB/rename/store resources and the advanced head
+	// make the next cycle actionable (more commits, blocked dispatch).
+	e.wake(e.now + 1)
 	if e.commitHook != nil {
 		e.commitHook(u)
 	}
@@ -127,6 +130,9 @@ func (e *Engine) freeRetiring(t *thread) {
 	}
 	t.retiring = false
 	t.live = false
+	// Event edge: the freed context, the heir's promotion, and any drained
+	// stores change what the next cycle can do.
+	e.wake(e.now + 1)
 	e.slots[t.id] = nil
 	e.threadRemoved(t)
 	t.overlay.Release()

@@ -21,6 +21,9 @@ func (e *Engine) deferWindow(ev *vpEvent) {
 		return
 	}
 	e.pendingWindows = append(e.pendingWindows, ev)
+	// Event edge: flushWindows must observe the window on exactly the
+	// cycle its minimum length elapses (the selector is fed e.now).
+	e.wake(ev.startCycle + windowMinCycles)
 }
 
 // observeWindow reports one closed window to the selector. Forward progress
@@ -59,7 +62,10 @@ func (e *Engine) complete() {
 		if !ok {
 			return
 		}
-		u.state = stDone
+		e.setUopState(u, stDone)
+		// Event edge: the result unblocks consumers (issue), the ROB head
+		// (commit), and possibly branch-blocked fetch, all next cycle.
+		e.wake(e.now + 1)
 		e.emit(trace.KComplete, u)
 		if u.mispredicted && u.thread.live && u.thread.blockedOn == u {
 			u.thread.blockedOn = nil
@@ -210,11 +216,12 @@ func (e *Engine) selectiveReissue(load *uop) {
 		case stIssued, stDone:
 			// Consumed a (possibly) wrong value: squash the result
 			// and return to the queue.
-			u.state = stWaiting
+			e.setUopState(u, stWaiting)
 			u.issueGen++
 			e.qUsed[u.queue]++
 			u.thread.icount++
-			e.waiting[u.queue] = append(e.waiting[u.queue], u)
+			e.waiting[u.queue] = append(e.waiting[u.queue], u.slot)
+			e.wake(e.now + 1) // may re-issue next cycle
 			e.st.Reissues++
 			e.emit(trace.KReissue, u)
 			for _, cr := range u.consumers {
@@ -287,8 +294,11 @@ func (e *Engine) squashUop(u *uop) {
 			e.renameUsed--
 		}
 	}
-	u.state = stSquashed
+	e.setUopState(u, stSquashed)
 	u.issueGen++
+	// Event edge: a squashed ROB or fetch-buffer head is consumed for free
+	// next cycle, and the released resources may unblock dispatch.
+	e.wake(e.now + 1)
 	e.st.Squashed++
 	e.emit(trace.KSquash, u)
 	if u.vp != nil && !u.vp.resolved {
@@ -362,6 +372,9 @@ func (e *Engine) killOne(t *thread) {
 	t.live = false
 	t.killed = true
 	t.retiring = false
+	// Event edge: the freed context and resources change what the next
+	// cycle can do (spawns, dispatch, the parent's fetch restart).
+	e.wake(e.now + 1)
 	e.threadRemoved(t)
 	e.noteStoreFree(len(t.storeQ))
 	t.fetchBuf = nil

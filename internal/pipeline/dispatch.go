@@ -114,17 +114,22 @@ func (e *Engine) tryDispatch(t *thread, u *uop) bool {
 	if e.injectFault(fault.IQStick) {
 		// Wedged issue-queue slot: the uop refuses to issue until the
 		// stick elapses or the recovery controller force-clears it.
-		u.stuckUntil = e.now + int64(e.inj.Profile().StickCycles)
+		e.setStuckUntil(u, e.now+int64(e.inj.Profile().StickCycles))
+		e.wake(u.stuckUntil)
 	}
 
-	u.state = stWaiting
+	e.setUopState(u, stWaiting)
 	u.dispatchCycle = e.now
 	e.robUsed++
 	e.qUsed[u.queue]++
 	if u.usesRename {
 		e.renameUsed++
 	}
-	e.waiting[u.queue] = append(e.waiting[u.queue], u)
+	e.waiting[u.queue] = append(e.waiting[u.queue], u.slot)
+	// Event edge: the dispatched uop (or a consumer its STVP specReady just
+	// unblocked) may issue next cycle, and the thread's next head may
+	// dispatch.
+	e.wake(e.now + 1)
 	e.emit(trace.KDispatch, u)
 	return true
 }

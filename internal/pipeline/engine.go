@@ -46,8 +46,22 @@ type Engine struct {
 	sharedStoreUsed int // occupancy of the unified tagged store buffer
 	qUsed           [numQueues]int
 	qCap            [numQueues]int
-	waiting         [numQueues][]*uop
+	waiting         [numQueues][]int32 // uop pool slots (see the SoA arrays)
 	completions     uopHeap
+
+	// Struct-of-arrays storage for the scheduler's hot uop fields, indexed
+	// by the pooled uop's permanent slot. The issue stage's scan-and-wake
+	// loop touches only these two flat arrays (plus the waiting slot lists
+	// above), so it walks cache lines instead of chasing uop pointers; the
+	// full uop struct is only dereferenced once a candidate passes. The
+	// mirrors are written exclusively through setUopState/setStuckUntil and
+	// follow the pool's ghost discipline: a freed uop's slot keeps its
+	// terminal state until reallocation, so a stale waiting-list slot reads
+	// stCommitted/stSquashed and drops out, exactly as the bare pointers
+	// did before (pool.go).
+	soaState []uopState
+	soaStuck []int64
+	slotUops []*uop // slot -> uop; stable for the engine's lifetime
 
 	finished     bool
 	haltedThread *thread
@@ -64,6 +78,13 @@ type Engine struct {
 	// cycles elided, for tests that need to prove the fast path engaged.
 	noFF      bool
 	ffSkipped uint64
+
+	// evq is the event-driven scheduler's calendar (events.go); nil when
+	// Config.DisableEventQueue or MTVP_NO_EVENTQ selects the legacy polling
+	// scan. evqCheck makes every calendar jump cross-check against the
+	// polling scan (tests and fuzzing only).
+	evq      *eventQueue
+	evqCheck bool
 
 	// Hot-loop scratch, reused across cycles to keep the steady state
 	// allocation-free.
@@ -171,6 +192,9 @@ func New(cfg *config.Config, prog *isa.Program, memory *mem.Memory, st *stats.St
 	e.qCap[qInt] = cfg.IQSize
 	e.qCap[qFP] = cfg.FQSize
 	e.qCap[qMem] = cfg.MQSize
+	if !cfg.DisableEventQueue && os.Getenv("MTVP_NO_EVENTQ") == "" {
+		e.evq = &eventQueue{}
+	}
 
 	prof, err := fault.ByName(cfg.Faults.Profile)
 	if err != nil {
@@ -381,8 +405,18 @@ func (e *Engine) runCycle() (stop bool, err error) {
 				e.lastProgress, e.now, e.describeStall()))
 		}
 	}
-	if !e.noFF {
-		e.fastForward()
+	if !e.finished {
+		// Neither scheduler skips ahead once the program has finished:
+		// the jump would inflate the final cycle count with a post-HALT
+		// idle window no stage will ever run in. (The polling fast-forward
+		// used to do exactly that on halting runs, leaving Stats.Cycles
+		// dependent on the DisableFastForward flag; guarded, both
+		// schedulers and both flags agree on every run.)
+		if e.evq != nil {
+			e.eventForward()
+		} else if !e.noFF {
+			e.fastForward()
+		}
 	}
 	return false, nil
 }
@@ -494,15 +528,15 @@ func (e *Engine) nextWake() (int64, bool) {
 	}
 
 	for q := queueKind(0); q < numQueues; q++ {
-		for _, u := range e.waiting[q] {
-			if u.state != stWaiting {
+		for _, s := range e.waiting[q] {
+			if e.soaState[s] != stWaiting {
 				continue
 			}
-			if u.stuckUntil > e.now {
-				edge(u.stuckUntil)
+			if e.soaStuck[s] > e.now {
+				edge(e.soaStuck[s])
 				continue
 			}
-			if e.uopReady(u) {
+			if e.uopReady(e.slotUops[s]) {
 				return 0, false // issues next cycle
 			}
 		}

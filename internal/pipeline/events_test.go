@@ -1,0 +1,406 @@
+package pipeline
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mtvp/internal/config"
+	"mtvp/internal/isa"
+	"mtvp/internal/stats"
+	"mtvp/internal/telemetry"
+	"mtvp/internal/workload"
+)
+
+// TestEventQueueUnit pins the calendar's container behaviour: min ordering,
+// O(1) same-cycle dedup, horizon clamping, and drain-at-or-before.
+func TestEventQueueUnit(t *testing.T) {
+	q := &eventQueue{}
+
+	q.add(50, 10)
+	q.add(30, 10)
+	q.add(50, 10) // duplicate: absorbed by the mark ring
+	q.add(40, 10)
+	if q.depth() != 3 {
+		t.Fatalf("depth = %d, want 3 (duplicate not deduped?)", q.depth())
+	}
+	if q.deduped != 1 {
+		t.Fatalf("deduped = %d, want 1", q.deduped)
+	}
+	if q.heap[0] != 30 {
+		t.Fatalf("min = %d, want 30", q.heap[0])
+	}
+
+	q.drain(40)
+	if q.depth() != 1 || q.heap[0] != 50 {
+		t.Fatalf("after drain(40): depth=%d min=%v, want one entry at 50", q.depth(), q.heap)
+	}
+	if q.fired != 2 {
+		t.Fatalf("fired = %d, want 2", q.fired)
+	}
+
+	// A far edge clamps to the horizon; the hop slot still dedups.
+	q.add(1_000_000, 100)
+	if q.heap[len(q.heap)-1] != 100+eqWindow && q.heap[0] != 100+eqWindow {
+		t.Fatalf("far edge not clamped to horizon: %v", q.heap)
+	}
+	q.add(2_000_000, 100) // different far cycle, same clamped hop
+	if q.depth() != 2 {
+		t.Fatalf("clamped hops not deduped: depth=%d heap=%v", q.depth(), q.heap)
+	}
+
+	// Slot aliasing across the ring must not dedup distinct cycles.
+	q2 := &eventQueue{}
+	q2.add(eqWindow/2, 1)
+	q2.drain(eqWindow / 2)
+	q2.add(eqWindow/2+eqWindow, eqWindow) // same slot, later cycle
+	if q2.depth() != 1 {
+		t.Fatalf("stale mark swallowed a later cycle in the same slot: depth=%d", q2.depth())
+	}
+
+	// Pop order over a shuffled batch must be sorted.
+	q3 := &eventQueue{}
+	for _, c := range []int64{9, 3, 7, 1, 8, 2, 6, 4, 5} {
+		q3.add(c, 0)
+	}
+	prev := int64(-1)
+	for q3.depth() > 0 {
+		c := q3.popTop()
+		if c < prev {
+			t.Fatalf("pop order not sorted: %d after %d", c, prev)
+		}
+		prev = c
+	}
+}
+
+// abOutcome is everything the scheduler A/B suite compares: the full stats
+// counter set (including Cycles), architectural registers, halt status, the
+// telemetry time series, and any structured abort.
+type abOutcome struct {
+	st     stats.Stats
+	regs   [isa.NumRegs]uint64
+	regsOK bool
+	halted bool
+	now    int64
+	points []telemetry.Point
+	ff     uint64
+	errStr string
+}
+
+func runAB(t *testing.T, cfg config.Config, bench workload.Benchmark, polling, noFF bool) abOutcome {
+	t.Helper()
+	cfg.DisableEventQueue = polling
+	cfg.DisableFastForward = noFF
+	prog, image := bench.Build(1)
+	st := &stats.Stats{}
+	eng, err := New(&cfg, prog, image, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler := telemetry.NewSampler(0)
+	eng.SetTelemetry(telemetry.NewMachine(nil, sampler))
+	out := abOutcome{}
+	if err := eng.Run(); err != nil {
+		// Structured aborts (fault.Report) are outcomes too and must be
+		// identical across schedulers.
+		out.errStr = err.Error()
+	}
+	eng.FinishTelemetry()
+	out.st = *st
+	out.regs, out.regsOK = eng.ArchRegs()
+	out.halted = eng.Halted()
+	out.now = eng.now
+	out.points = sampler.Points()
+	out.ff = eng.ffSkipped
+	return out
+}
+
+func compareAB(t *testing.T, event, polling abOutcome) {
+	t.Helper()
+	if event.st != polling.st {
+		t.Errorf("stats diverge:\nevent:   %+v\npolling: %+v", event.st, polling.st)
+	}
+	if event.now != polling.now {
+		t.Errorf("final cycle diverges: event=%d polling=%d", event.now, polling.now)
+	}
+	if event.regsOK != polling.regsOK || event.regs != polling.regs {
+		t.Errorf("architectural registers diverge:\nevent:   ok=%v %v\npolling: ok=%v %v",
+			event.regsOK, event.regs, polling.regsOK, polling.regs)
+	}
+	if event.halted != polling.halted {
+		t.Errorf("halted diverges: event=%v polling=%v", event.halted, polling.halted)
+	}
+	if event.errStr != polling.errStr {
+		t.Errorf("run error diverges:\nevent:   %q\npolling: %q", event.errStr, polling.errStr)
+	}
+	if !reflect.DeepEqual(event.points, polling.points) {
+		t.Errorf("telemetry time series diverge: event has %d points, polling has %d",
+			len(event.points), len(polling.points))
+		for i := range event.points {
+			if i < len(polling.points) && event.points[i] != polling.points[i] {
+				t.Errorf("first divergent point %d:\nevent:   %+v\npolling: %+v",
+					i, event.points[i], polling.points[i])
+				break
+			}
+		}
+	}
+}
+
+// abCases is the archetype sweep both scheduler equivalence tests walk:
+// miss-heavy single-thread (long idle stretches), deep MTVP speculation
+// (spawn/confirm/kill and window edges), a run-to-HALT workload (the final
+// cycle count is observable, so the schedulers must agree on the finishing
+// cycle exactly), and two fault-injection profiles (recovery-watchdog
+// deadlines, IQ sticks, memory jitter as first-class events).
+func abCases() []struct {
+	name   string
+	cycles uint64
+	cfg    func() config.Config
+	bench  workload.Benchmark
+} {
+	return []struct {
+		name   string
+		cycles uint64
+		cfg    func() config.Config
+		bench  workload.Benchmark
+	}{
+		{
+			name:   "miss-heavy-baseline",
+			cycles: 400_000,
+			cfg:    config.Baseline,
+			bench: workload.PointerChase("ab-miss", workload.INT, workload.ChaseParams{
+				Nodes: 1 << 18, NodeBytes: 64, PoolSize: 8,
+				DominantPct: 60, ReusePct: 30, SeqPct: 10, BodyOps: 4, Iters: 1 << 40,
+			}),
+		},
+		{
+			name:   "deep-speculation-mtvp8",
+			cycles: 150_000,
+			cfg:    func() config.Config { return mtvpOracleCfg(8) },
+			bench: workload.PointerChase("ab-spec", workload.INT, workload.ChaseParams{
+				Nodes: 1 << 16, NodeBytes: 64, PoolSize: 8,
+				DominantPct: 60, ReusePct: 30, SeqPct: 30, BodyOps: 8, Iters: 1 << 40,
+			}),
+		},
+		{
+			// Runs to HALT inside the budget: Stats.Cycles is set by the
+			// finishing cycle itself, pinning the no-jump-after-finish rule.
+			name:   "halting-baseline",
+			cycles: 1 << 40,
+			cfg:    config.Baseline,
+			bench: workload.PointerChase("ab-halt", workload.INT, workload.ChaseParams{
+				Nodes: 256, NodeBytes: 64, PoolSize: 8,
+				DominantPct: 60, ReusePct: 30, SeqPct: 20, BodyOps: 4, Iters: 30,
+			}),
+		},
+		{
+			name:   "fault-monsoon-mtvp4",
+			cycles: 200_000,
+			cfg: func() config.Config {
+				cfg := mtvpOracleCfg(4)
+				cfg.Faults.Profile = "monsoon"
+				cfg.Faults.Seed = 1234
+				return cfg
+			},
+			bench: workload.PointerChase("ab-monsoon", workload.INT, workload.ChaseParams{
+				Nodes: 1 << 16, NodeBytes: 64, PoolSize: 8,
+				DominantPct: 60, ReusePct: 30, SeqPct: 30, BodyOps: 8, Iters: 1 << 40,
+			}),
+		},
+		{
+			// Wedged issue-queue slots outlive the watchdog, so recovery
+			// (unstick, deadlock break, backoff) must fire on identical
+			// cycles under both schedulers.
+			name:   "recovery-ladder-stuck-iq",
+			cycles: 400_000,
+			cfg: func() config.Config {
+				cfg := mtvpOracleCfg(4)
+				cfg.Faults.Profile = "stuck-iq-storm"
+				cfg.Faults.Seed = 99
+				return cfg
+			},
+			bench: workload.PointerChase("ab-stuck", workload.INT, workload.ChaseParams{
+				Nodes: 1 << 16, NodeBytes: 64, PoolSize: 8,
+				DominantPct: 60, ReusePct: 30, SeqPct: 30, BodyOps: 8, Iters: 1 << 40,
+			}),
+		},
+	}
+}
+
+// TestEventQueueIsInvisible is the event engine's A/B guarantee: for every
+// archetype, with fast-forward both on and off, the event-driven scheduler
+// must be bit-identical to the polling scan — statistics (including the
+// final cycle count), architectural registers, telemetry time series, and
+// structured aborts. With fast-forward on, the calendar jump must actually
+// engage or the comparison is vacuous.
+func TestEventQueueIsInvisible(t *testing.T) {
+	t.Setenv("MTVP_NO_FASTFWD", "")
+	t.Setenv("MTVP_NO_EVENTQ", "")
+
+	for _, c := range abCases() {
+		for _, noFF := range []bool{false, true} {
+			name := c.name
+			if noFF {
+				name += "/noff"
+			}
+			t.Run(name, func(t *testing.T) {
+				cfg := c.cfg()
+				cfg.MaxInsts = 1 << 62
+				cfg.MaxCycles = c.cycles
+
+				event := runAB(t, cfg, c.bench, false, noFF)
+				polling := runAB(t, cfg, c.bench, true, noFF)
+
+				if !noFF && event.ff == 0 && c.name != "halting-baseline" {
+					t.Errorf("event scheduler never jumped (ffSkipped = 0); comparison is vacuous")
+				}
+				if noFF && (event.ff != 0 || polling.ff != 0) {
+					t.Errorf("noFF legs skipped cycles: event=%d polling=%d", event.ff, polling.ff)
+				}
+				if c.name == "halting-baseline" && !event.halted {
+					t.Errorf("halting case did not halt; finishing-cycle pin is vacuous")
+				}
+				compareAB(t, event, polling)
+			})
+		}
+	}
+}
+
+// TestEventScheduleCrossCheck runs the event engine with the calendar
+// cross-checked against the polling quiescence scan on every jump: any
+// sleep past a cycle where a stage could act panics. This is the directed
+// (non-fuzz) lost-wakeup hunt over the same archetype sweep.
+func TestEventScheduleCrossCheck(t *testing.T) {
+	t.Setenv("MTVP_NO_FASTFWD", "")
+	t.Setenv("MTVP_NO_EVENTQ", "")
+
+	for _, c := range abCases() {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := c.cfg()
+			cfg.MaxInsts = 1 << 62
+			cfg.MaxCycles = c.cycles
+			prog, image := c.bench.Build(1)
+			st := &stats.Stats{}
+			eng, err := New(&cfg, prog, image, st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eng.evq == nil {
+				t.Fatal("event scheduler not active")
+			}
+			eng.evqCheck = true
+			if err := eng.Run(); err != nil {
+				t.Logf("run ended with structured error (acceptable): %v", err)
+			}
+		})
+	}
+}
+
+// FuzzEventSchedule fuzzes workload shape, machine size, and fault seeding,
+// asserting the calendar never sleeps past a ready stage (the cross-check
+// panics on a lost wakeup) and that the event run matches a polling run of
+// the same machine exactly.
+func FuzzEventSchedule(f *testing.F) {
+	f.Add(uint8(2), uint16(256), uint8(60), uint8(30), uint8(4), uint8(0), uint32(1))
+	f.Add(uint8(4), uint16(1024), uint8(20), uint8(10), uint8(8), uint8(1), uint32(7))
+	f.Add(uint8(8), uint16(4096), uint8(80), uint8(50), uint8(2), uint8(2), uint32(42))
+	f.Add(uint8(1), uint16(64), uint8(0), uint8(0), uint8(1), uint8(3), uint32(9))
+
+	profiles := []string{"none", "monsoon", "stuck-iq-storm", "mem-jitter", "spawn-storm"}
+
+	f.Fuzz(func(t *testing.T, contexts uint8, nodes uint16, seqPct, reusePct, bodyOps, profIdx uint8, seed uint32) {
+		nctx := int(contexts%7) + 2 // mtvpOracleCfg needs >= 2 contexts
+		nn := int(nodes)
+		if nn < 16 {
+			nn = 16
+		}
+		params := workload.ChaseParams{
+			Nodes: nn, NodeBytes: 64, PoolSize: 8,
+			DominantPct: 50, ReusePct: int(reusePct % 50), SeqPct: int(seqPct % 100),
+			BodyOps: int(bodyOps%12) + 1, Iters: 1 << 40,
+		}
+		bench := workload.PointerChase(fmt.Sprintf("fuzz-%d", seed), workload.INT, params)
+
+		cfg := mtvpOracleCfg(nctx)
+		cfg.MaxInsts = 1 << 62
+		cfg.MaxCycles = 60_000
+		cfg.Faults.Profile = profiles[int(profIdx)%len(profiles)]
+		cfg.Faults.Seed = uint64(seed)
+
+		// Event run with the lost-wakeup cross-check armed.
+		prog, image := bench.Build(1)
+		st := &stats.Stats{}
+		eng, err := New(&cfg, prog, image, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.evqCheck = true
+		var evErr string
+		if err := eng.Run(); err != nil {
+			evErr = err.Error()
+		}
+
+		// Polling reference run.
+		cfg2 := cfg
+		cfg2.DisableEventQueue = true
+		prog2, image2 := bench.Build(1)
+		st2 := &stats.Stats{}
+		eng2, err := New(&cfg2, prog2, image2, st2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var polErr string
+		if err := eng2.Run(); err != nil {
+			polErr = err.Error()
+		}
+
+		if *st != *st2 {
+			t.Fatalf("stats diverge:\nevent:   %+v\npolling: %+v", *st, *st2)
+		}
+		if evErr != polErr {
+			t.Fatalf("run error diverges: event=%q polling=%q", evErr, polErr)
+		}
+		r1, ok1 := eng.ArchRegs()
+		r2, ok2 := eng2.ArchRegs()
+		if ok1 != ok2 || r1 != r2 {
+			t.Fatalf("architectural registers diverge")
+		}
+	})
+}
+
+// BenchmarkEventQueue micro-benchmarks the calendar's three hot operations:
+// near-edge enqueue (mark-ring accept), duplicate enqueue (dedup hit), and
+// the fire-and-requeue cycle of a sliding schedule.
+func BenchmarkEventQueue(b *testing.B) {
+	b.Run("enqueue", func(b *testing.B) {
+		q := &eventQueue{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			now := int64(i)
+			q.add(now+1+int64(i%700), now)
+			q.drain(now)
+		}
+	})
+	b.Run("dedup", func(b *testing.B) {
+		q := &eventQueue{}
+		q.add(1<<20, 0)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q.add(1<<20, 0) // always a mark-ring hit
+		}
+	})
+	b.Run("requeue", func(b *testing.B) {
+		// A sliding window of 64 in-flight completions, one firing and one
+		// scheduled per step — the steady-state shape of a busy machine.
+		q := &eventQueue{}
+		for i := int64(0); i < 64; i++ {
+			q.add(i+1, 0)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			now := int64(i)
+			q.drain(now)
+			q.add(now+64, now)
+		}
+	})
+}

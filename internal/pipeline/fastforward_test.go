@@ -18,8 +18,11 @@ import (
 // optimization force-disabled must produce byte-identical statistics,
 // architectural register state, and telemetry time series. The fast path
 // must also actually engage (ffSkipped > 0), or the test proves nothing.
+// The event-driven scheduler is pinned off here — this test validates the
+// polling scan's own jump; events_test.go owns the event-vs-polling axis.
 func TestFastForwardIsInvisible(t *testing.T) {
 	t.Setenv("MTVP_NO_FASTFWD", "") // pin the env override off
+	t.Setenv("MTVP_NO_EVENTQ", "1") // polling scheduler only
 
 	cases := []struct {
 		name   string
@@ -150,13 +153,15 @@ func missRing(nodes int) (*isa.Program, *mem.Memory) {
 
 // TestZeroAllocSteadyState pins the hot loop's allocation behaviour: once
 // the engine is warm (slices at capacity, uop pool populated, overlay keys
-// touched), a simulated cycle must not allocate at all — neither on the
-// commit-every-cycle path nor on the fast-forwarded idle path.
+// touched, calendar heap at depth), a simulated cycle must not allocate at
+// all — neither on the commit-every-cycle path nor on the fast-forwarded
+// idle path, under both the event-driven and the polling scheduler.
 func TestZeroAllocSteadyState(t *testing.T) {
 	if testing.Short() {
 		t.Skip("warmup is a few hundred ms per case")
 	}
 	t.Setenv("MTVP_NO_FASTFWD", "")
+	t.Setenv("MTVP_NO_EVENTQ", "")
 
 	cases := []struct {
 		name  string
@@ -187,36 +192,39 @@ func TestZeroAllocSteadyState(t *testing.T) {
 	}
 
 	for _, c := range cases {
-		t.Run(c.name, func(t *testing.T) {
-			cfg := config.Baseline()
-			cfg.MaxInsts = 1 << 62
-			cfg.MaxCycles = 1 << 40
-			// The stride prefetcher's stream-tracking maps churn entries;
-			// it stays on in benchmarks but is out of scope for the
-			// zero-alloc pin.
-			cfg.Prefetch.Enabled = false
-			prog, image := c.build()
-			st := &stats.Stats{}
-			eng, err := New(&cfg, prog, image, st)
-			if err != nil {
-				t.Fatal(err)
-			}
-			for i := 0; i < c.warm; i++ {
-				if stop, err := eng.runCycle(); err != nil || stop {
-					t.Fatalf("warmup ended early at cycle %d: stop=%v err=%v", eng.now, stop, err)
-				}
-			}
-			avg := testing.AllocsPerRun(300, func() {
-				if _, err := eng.runCycle(); err != nil {
+		for _, engine := range []string{"event", "polling"} {
+			t.Run(c.name+"/"+engine, func(t *testing.T) {
+				cfg := config.Baseline()
+				cfg.MaxInsts = 1 << 62
+				cfg.MaxCycles = 1 << 40
+				cfg.DisableEventQueue = engine == "polling"
+				// The stride prefetcher's stream-tracking maps churn entries;
+				// it stays on in benchmarks but is out of scope for the
+				// zero-alloc pin.
+				cfg.Prefetch.Enabled = false
+				prog, image := c.build()
+				st := &stats.Stats{}
+				eng, err := New(&cfg, prog, image, st)
+				if err != nil {
 					t.Fatal(err)
 				}
+				for i := 0; i < c.warm; i++ {
+					if stop, err := eng.runCycle(); err != nil || stop {
+						t.Fatalf("warmup ended early at cycle %d: stop=%v err=%v", eng.now, stop, err)
+					}
+				}
+				avg := testing.AllocsPerRun(300, func() {
+					if _, err := eng.runCycle(); err != nil {
+						t.Fatal(err)
+					}
+				})
+				if avg != 0 {
+					t.Errorf("steady-state cycle allocates: %.2f allocs/cycle", avg)
+				}
+				if st.Committed == 0 {
+					t.Fatal("workload committed nothing; the steady state measured is vacuous")
+				}
 			})
-			if avg != 0 {
-				t.Errorf("steady-state cycle allocates: %.2f allocs/cycle", avg)
-			}
-			if st.Committed == 0 {
-				t.Fatal("workload committed nothing; the steady state measured is vacuous")
-			}
-		})
+		}
 	}
 }

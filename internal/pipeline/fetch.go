@@ -156,8 +156,11 @@ func (e *Engine) newUop(t *thread, ex isa.Exec, d *isa.Decoded) *uop {
 	u.dec = d
 	u.class = d.Class
 	u.queue = queueFor(d.Class)
-	u.state = stFetched
+	e.setUopState(u, stFetched)
 	u.fetchCycle = fetchCycle
+	// Event edge: the uop becomes dispatchable once its front-end delay
+	// elapses (a pipe-warm backdated cycle clamps to next cycle).
+	e.wake(fetchCycle + int64(e.cfg.FrontEndDepth))
 	u.hasDest = d.HasDest
 	t.rob = append(t.rob, u)
 	t.compactFetchBuf()
@@ -368,4 +371,7 @@ func (e *Engine) spawn(t *thread, loadU *uop, ev *vpEvent) {
 	if e.cfg.VP.FetchPolicy == config.FetchSFP {
 		t.stallFetch = true
 	}
+	// Event edge: the children's first dispatch waits out the spawn
+	// latency (their fetch edges are re-announced every executed cycle).
+	e.wake(e.now + int64(e.cfg.VP.SpawnLatency))
 }

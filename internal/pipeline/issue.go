@@ -18,8 +18,14 @@ func (e *Engine) issue() {
 	ready := e.readyBuf[:0]
 	for q := queueKind(0); q < numQueues; q++ {
 		e.compactQueue(q)
-		for _, u := range e.waiting[q] {
-			if u.state == stWaiting && u.stuckUntil <= e.now && e.uopReady(u) {
+		// The scan-and-wake loop reads only the flat SoA mirrors until a
+		// candidate passes the state and stick checks; the uop struct
+		// itself is touched just for the operand-readiness walk.
+		for _, s := range e.waiting[q] {
+			if e.soaState[s] != stWaiting || e.soaStuck[s] > e.now {
+				continue
+			}
+			if u := e.slotUops[s]; e.uopReady(u) {
 				ready = append(ready, u)
 			}
 		}
@@ -74,7 +80,7 @@ func (e *Engine) uopReady(u *uop) bool {
 }
 
 func (e *Engine) issueOne(u *uop) {
-	u.state = stIssued
+	e.setUopState(u, stIssued)
 	u.issueGen++
 	u.thread.icount--
 	e.qUsed[u.queue]--
@@ -83,6 +89,10 @@ func (e *Engine) issueOne(u *uop) {
 	done := e.now + e.latencyOf(u)
 	u.doneCycle = done
 	e.completions.schedule(u, done)
+	// Event edges: the completion fires at done, and the freed queue slot
+	// (plus any width-limited ready peers) makes the next cycle actionable.
+	e.wake(done)
+	e.wake(e.now + 1)
 	if u.class == isa.ClassLoad {
 		e.noteLoadLatencyTelemetry(done - e.now)
 	}
@@ -129,9 +139,9 @@ func (e *Engine) latencyOf(u *uop) int64 {
 // compactQueue drops issued and squashed uops from a waiting list.
 func (e *Engine) compactQueue(q queueKind) {
 	w := e.waiting[q][:0]
-	for _, u := range e.waiting[q] {
-		if u.state == stWaiting {
-			w = append(w, u)
+	for _, s := range e.waiting[q] {
+		if e.soaState[s] == stWaiting {
+			w = append(w, s)
 		}
 	}
 	e.waiting[q] = w

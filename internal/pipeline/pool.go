@@ -20,18 +20,44 @@ package pipeline
 //   - gen is bumped at free, invalidating every uopRef into the old
 //     lifetime. issueGen is never reset: completion-heap entries from a
 //     previous lifetime can therefore never match a recycled uop.
+//   - Every uop owns a permanent pool slot indexing the engine's
+//     struct-of-arrays mirrors (soaState, soaStuck); the mirrors follow
+//     the same discipline — reset at allocation, terminal state preserved
+//     across free — so a slot held by a stale waiting-list entry reads
+//     exactly what the stale pointer would have.
 func (e *Engine) allocUop() *uop {
 	n := len(e.uopFree)
 	if n == 0 {
-		return &uop{}
+		u := &uop{slot: int32(len(e.slotUops))}
+		e.slotUops = append(e.slotUops, u)
+		e.soaState = append(e.soaState, stFetched)
+		e.soaStuck = append(e.soaStuck, 0)
+		return u
 	}
 	u := e.uopFree[n-1]
 	e.uopFree[n-1] = nil
 	e.uopFree = e.uopFree[:n-1]
-	gen, issueGen := u.gen, u.issueGen
+	gen, issueGen, slot := u.gen, u.issueGen, u.slot
 	prods, consumers := u.prods[:0], u.consumers[:0]
-	*u = uop{gen: gen, issueGen: issueGen, prods: prods, consumers: consumers}
+	*u = uop{gen: gen, issueGen: issueGen, slot: slot, prods: prods, consumers: consumers}
+	e.soaState[slot] = stFetched
+	e.soaStuck[slot] = 0
 	return u
+}
+
+// setUopState is the single write path for a uop's pipeline state, keeping
+// the struct field and the slot-indexed mirror in lockstep. The mirror is
+// what the issue scan and the polling quiescence scan read.
+func (e *Engine) setUopState(u *uop, s uopState) {
+	u.state = s
+	e.soaState[u.slot] = s
+}
+
+// setStuckUntil is the single write path for a uop's IQStick deadline,
+// mirrored like setUopState.
+func (e *Engine) setStuckUntil(u *uop, c int64) {
+	u.stuckUntil = c
+	e.soaStuck[u.slot] = c
 }
 
 // freeUop returns u to the pool. The caller must have unlinked u from every

@@ -220,9 +220,9 @@ func (e *Engine) recoverStall() bool {
 func (e *Engine) unstickQueues() bool {
 	n := 0
 	for q := queueKind(0); q < numQueues; q++ {
-		for _, u := range e.waiting[q] {
-			if u.state == stWaiting && u.stuckUntil > e.now {
-				u.stuckUntil = 0
+		for _, s := range e.waiting[q] {
+			if e.soaState[s] == stWaiting && e.soaStuck[s] > e.now {
+				e.setStuckUntil(e.slotUops[s], 0)
 				n++
 			}
 		}
@@ -230,6 +230,8 @@ func (e *Engine) unstickQueues() bool {
 	if n == 0 {
 		return false
 	}
+	// Event edge: the unstuck uops may issue next cycle.
+	e.wake(e.now + 1)
 	e.st.RecoveryUnsticks += uint64(n)
 	if e.tracer != nil {
 		e.emitSlot(trace.KRecover, -1, fmt.Sprintf("force-cleared %d stuck issue-queue slots", n))

@@ -12,9 +12,16 @@ func (e *Engine) SetTelemetry(m *telemetry.Machine) { e.tel = m }
 
 // telemetryCycle feeds the probe one simulated cycle: instantaneous
 // occupancy gauges plus the cumulative counter snapshot the sampler
-// differentiates into cycle-bucketed time series.
+// differentiates into cycle-bucketed time series. The event-queue gauges
+// are registry-only (not sampled into the time series), so the series stay
+// bit-identical between the event-driven and polling schedulers.
 func (e *Engine) telemetryCycle() {
 	e.tel.Tick(e.now, e.telemetryGauges(), e.telemetryCounters())
+	if e.evq != nil {
+		e.tel.EventQDepth.Set(int64(e.evq.depth()))
+		e.tel.EventQFired.Set(int64(e.evq.fired))
+		e.tel.EventQDeduped.Set(int64(e.evq.deduped))
+	}
 }
 
 // telemetrySkip feeds the probe a fast-forwarded idle span [from, to]. The

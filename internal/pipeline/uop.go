@@ -64,6 +64,7 @@ type uop struct {
 	state    uopState
 	gen      uint32 // pool lifetime; incremented on free
 	issueGen uint32 // invalidates stale completion-heap entries
+	slot     int32  // permanent pool slot; indexes the engine's SoA mirrors
 
 	fetchCycle    int64
 	dispatchCycle int64

@@ -56,6 +56,14 @@ type Machine struct {
 	LiveThreads  *Gauge
 	SpecThreads  *Gauge
 
+	// Event-driven scheduler calendar (pipeline/events.go). Zero when the
+	// engine runs the legacy polling scan. These live only in the registry
+	// (/metrics), never in the sampler's time series, so the series stay
+	// bit-identical across scheduler modes.
+	EventQDepth   *Gauge // pending wake entries in the calendar
+	EventQFired   *Gauge // cumulative entries fired (popped at their cycle)
+	EventQDeduped *Gauge // cumulative enqueues absorbed by the dedup ring
+
 	// Histograms (distributional quantities the paper's dynamics argument
 	// rests on).
 	LoadLatency     *Histogram // cycles from issue to completion, loads only
@@ -82,6 +90,10 @@ func NewMachine(reg *Registry, sampler *Sampler) *Machine {
 		StoreBufUsed: reg.Gauge("mtvp_sim_storebuf_used", "speculative store buffer entries in use"),
 		LiveThreads:  reg.Gauge("mtvp_sim_threads_live", "live hardware contexts"),
 		SpecThreads:  reg.Gauge("mtvp_sim_threads_spec", "in-flight speculative threads"),
+
+		EventQDepth:   reg.Gauge("mtvp_sim_eventq_depth", "pending wake entries in the scheduler calendar"),
+		EventQFired:   reg.Gauge("mtvp_sim_eventq_fired_total", "calendar entries fired since the run began"),
+		EventQDeduped: reg.Gauge("mtvp_sim_eventq_deduped_total", "enqueues absorbed by the calendar dedup ring"),
 
 		LoadLatency:     reg.Histogram("mtvp_sim_load_latency_cycles", "load issue-to-completion latency"),
 		SpecLifetime:    reg.Histogram("mtvp_sim_spec_lifetime_cycles", "speculative thread lifetime, spawn to confirm or kill"),
